@@ -1,0 +1,163 @@
+//! Calibration constants of the array engine.
+//!
+//! Every empirical knob of the CACTI/NVSim/Destiny-style models lives
+//! here, with the anchor it was calibrated against. The integration test
+//! suite (`tests/` at the workspace root) asserts the paper's relative
+//! anchors in tolerant bands, so a retuned constant that breaks a
+//! reported shape fails loudly.
+
+/// Depth (in feature sizes) of the row-decoder / wordline-driver strip
+/// alongside each subarray.
+pub const DECODER_STRIP_DEPTH_F: f64 = 60.0;
+
+/// Depth (in feature sizes) of a voltage-mode sense-amplifier strip.
+pub const SENSE_STRIP_DEPTH_F_VOLTAGE: f64 = 120.0;
+
+/// Depth (in feature sizes) of a current-mode sense-amplifier strip
+/// (eNVM reads need reference generation and larger sense amps).
+pub const SENSE_STRIP_DEPTH_F_CURRENT: f64 = 250.0;
+
+/// Control/timing overhead as a fraction of subarray area.
+pub const CONTROL_AREA_OVERHEAD: f64 = 0.12;
+
+/// H-tree routing area as a fraction of per-die array content.
+pub const HTREE_AREA_FRACTION: f64 = 0.08;
+
+/// Base-die global periphery (IO ring, bank control) for volatile
+/// technologies, square millimeters at 16 MiB; scales with sqrt(capacity).
+pub const GLOBAL_FLOOR_VOLATILE_MM2: f64 = 0.40;
+
+/// Base-die global periphery for eNVMs, square millimeters at 16 MiB.
+/// Larger than the volatile floor: write charge pumps and verify logic.
+pub const GLOBAL_FLOOR_NVM_MM2: f64 = 0.50;
+
+/// Extra area factor applied to peripheral strips for dual-port arrays.
+pub const DUAL_PORT_AREA_FACTOR: f64 = 1.10;
+
+/// Extra energy factor for dual-port arrays (heavier bit/wordlines).
+pub const DUAL_PORT_ENERGY_FACTOR: f64 = 1.08;
+
+/// H-tree request + response path length as a multiple of the die-edge
+/// length `sqrt(footprint)`.
+pub const HTREE_PATH_FACTOR: f64 = 2.0;
+
+/// Conservatism factor on repeated-wire H-tree delay covering bank-level
+/// routing, arbitration, and setup margins; calibrated against CACTI-class
+/// absolute latencies (~150 ps/mm effective at 300 K).
+pub const HTREE_DELAY_MARGIN: f64 = 3.0;
+
+/// Sensing margin factor on bitline development time (process variation
+/// guard-banding, as in CACTI).
+pub const BITLINE_MARGIN: f64 = 2.0;
+
+/// Fraction of a cell's nominal drive current available when discharging
+/// a bitline through the stacked access path.
+pub const CELL_DRIVE_FACTOR: f64 = 0.4;
+
+/// Write-driver width in multiples of the minimum transistor width.
+pub const WRITE_DRIVER_WIDTH_MULT: f64 = 8.0;
+
+/// Wordline-driver width in multiples of the minimum transistor width.
+pub const WL_DRIVER_WIDTH_MULT: f64 = 10.0;
+
+/// Fan-of-four delay multiplier per decoder stage (3 inverting stages).
+pub const DECODER_STAGE_FO4: f64 = 2.5;
+
+/// Effective FO4 calibration factor on the raw `R_eq C_gate` product.
+pub const FO4_FACTOR: f64 = 2.0;
+
+/// Sense-amplifier firing energy per bit, joules.
+pub const SENSE_ENERGY_PER_BIT: f64 = 2.0e-15;
+
+/// Broadcast/background switched capacitance per access, expressed as
+/// energy per square meter of the accessed die's footprint at nominal
+/// 0.8 V. Captures address broadcast, clock/control distribution, and
+/// partially-switched H-tree branches; calibrated so a 16 MiB 2D SRAM
+/// read costs ~2 nJ per 576-bit access, with ~75% saved at 8 dies.
+pub const BROADCAST_ENERGY_PER_M2: f64 = 72.0e-12 * 1e6;
+
+/// Address + command bits carried by the H-tree alongside the data line.
+pub const ADDRESS_BITS: f64 = 40.0;
+
+/// Effective leaking transistor width per square meter of peripheral
+/// silicon (meters of width per square meter), medium-Vth periphery.
+pub const PERIPH_WIDTH_DENSITY_PER_M2: f64 = 30e-3 / 1e-6;
+
+/// Threshold boost of peripheral devices relative to logic (volts).
+pub const PERIPH_VTH_BOOST: f64 = 0.10;
+
+/// Static-bias multiplier on peripheral leakage for current-sense arrays
+/// (reference generators and current-mode sense amplifiers keep a bias
+/// network alive). The bias scales with the square of the cell read
+/// energy relative to [`CURRENT_SENSE_REFERENCE_PJ`] — heavier read
+/// currents need beefier reference networks — clamped to
+/// [`CURRENT_SENSE_LEAK_MAX`]. Calibrated against the paper's Fig. 7
+/// observation that eNVM LLCs sit 2-10x below SRAM total power at low
+/// traffic rather than orders of magnitude below.
+pub const CURRENT_SENSE_LEAK_FACTOR: f64 = 2.0;
+
+/// Reference cell read energy (picojoules) at which the current-sense
+/// bias multiplier equals [`CURRENT_SENSE_LEAK_FACTOR`].
+pub const CURRENT_SENSE_REFERENCE_PJ: f64 = 1.4;
+
+/// Upper clamp on the current-sense bias multiplier.
+pub const CURRENT_SENSE_LEAK_MAX: f64 = 12.0;
+
+/// TSV electrical capacitance, farads (face-to-back micro-bump TSV).
+pub const TSV_CAP_F2B: f64 = 20.0e-15;
+
+/// Bond-point capacitance for face-to-face stacking, farads.
+pub const TSV_CAP_F2F: f64 = 5.0e-15;
+
+/// Inter-layer via capacitance for monolithic stacking, farads.
+pub const TSV_CAP_MONOLITHIC: f64 = 0.5e-15;
+
+/// TSV pitch for face-to-back stacking, meters.
+pub const TSV_PITCH_F2B: f64 = 5.0e-6;
+
+/// Bond pitch for face-to-face stacking, meters.
+pub const TSV_PITCH_F2F: f64 = 3.0e-6;
+
+/// Via pitch for monolithic stacking, meters.
+pub const TSV_PITCH_MONOLITHIC: f64 = 0.2e-6;
+
+/// Vertical-bus signal count beyond the data line (address, command,
+/// redundancy), added to the data width when sizing the TSV field.
+pub const TSV_OVERHEAD_SIGNALS: f64 = 128.0;
+
+/// Per-die TSV field growth factor per additional die (keep-out and
+/// redundancy).
+pub const TSV_GROWTH_PER_DIE: f64 = 0.02;
+
+/// Effective driver resistance charging one TSV, ohms.
+pub const TSV_DRIVE_OHMS: f64 = 1.0e3;
+
+/// Performance derating of devices on upper monolithic layers.
+pub const MONOLITHIC_DEVICE_DERATE: f64 = 1.05;
+
+/// Number of independently-schedulable banks the LLC exposes for
+/// concurrent accesses (matching the 16-way banked organization of the
+/// Table I cache). Bounds the sustainable access bandwidth.
+pub const BANK_CONCURRENCY: f64 = 16.0;
+
+/// Margin factor on the storage-node restore energy of a row refresh
+/// (driver and timing overheads beyond the ideal `C_storage V^2` per
+/// cell).
+pub const REFRESH_ENERGY_FACTOR: f64 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // guards against miscalibration edits
+    fn constants_are_sane() {
+        assert!(SENSE_STRIP_DEPTH_F_CURRENT > SENSE_STRIP_DEPTH_F_VOLTAGE);
+        assert!(GLOBAL_FLOOR_NVM_MM2 > GLOBAL_FLOOR_VOLATILE_MM2);
+        assert!(TSV_CAP_MONOLITHIC < TSV_CAP_F2F && TSV_CAP_F2F < TSV_CAP_F2B);
+        assert!(TSV_PITCH_MONOLITHIC < TSV_PITCH_F2F && TSV_PITCH_F2F < TSV_PITCH_F2B);
+        assert!(BITLINE_MARGIN >= 1.0);
+        assert!(CURRENT_SENSE_LEAK_FACTOR >= 1.0);
+        assert!((0.0..1.0).contains(&HTREE_AREA_FRACTION));
+    }
+}

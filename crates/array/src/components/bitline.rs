@@ -1,0 +1,154 @@
+//! Bitline model: capacitance, development time, and swing energy.
+
+use coldtall_cell::ReadMechanism;
+use coldtall_tech::{Polarity, WireKind};
+use coldtall_units::{Farads, Joules, Seconds};
+
+use super::Ctx;
+use crate::calib;
+
+/// Capacitance of one bitline: junction load of every cell plus the wire.
+pub fn capacitance(ctx: &Ctx<'_>) -> Farads {
+    let node = ctx.node();
+    let rows = f64::from(ctx.org.rows());
+    let junction_per_cell = ctx.nmos.junction_cap(node.min_width()) * 0.5;
+    let wire = node.wire(WireKind::Local);
+    let wire_cap = wire.capacitance_per_m() * (rows * ctx.geom.cell_height);
+    junction_per_cell * rows + wire_cap
+}
+
+/// Resistance of one bitline wire at the operating temperature.
+fn resistance(ctx: &Ctx<'_>) -> f64 {
+    let node = ctx.node();
+    let wire = node.wire(WireKind::Local);
+    let len = coldtall_units::Meters::new(f64::from(ctx.org.rows()) * ctx.geom.cell_height);
+    wire.resistance(len, ctx.temperature()).get()
+}
+
+/// The cell's read drive current onto the bitline (voltage-sense cells).
+fn cell_read_current(ctx: &Ctx<'_>) -> f64 {
+    let node = ctx.node();
+    let device = match ctx.spec.cell().technology() {
+        coldtall_cell::MemoryTechnology::Edram3T => &ctx.pmos,
+        _ => &ctx.nmos,
+    };
+    debug_assert!(matches!(
+        device.polarity(),
+        Polarity::Nmos | Polarity::Pmos
+    ));
+    device.on_current_per_um(ctx.op()).get() * (node.min_width().get() * 1e6)
+        * calib::CELL_DRIVE_FACTOR
+}
+
+/// Bitline time on a read: swing development for voltage sensing, or the
+/// wire RC flight time for current sensing (the sensing itself lives in
+/// the cell's intrinsic read time).
+pub fn read_delay(ctx: &Ctx<'_>) -> Seconds {
+    let c_bl = capacitance(ctx).get();
+    match ctx.spec.cell().read_mechanism() {
+        ReadMechanism::VoltageSense { swing } => {
+            let i = cell_read_current(ctx);
+            Seconds::new(calib::BITLINE_MARGIN * c_bl * swing.get() / i)
+        }
+        ReadMechanism::CurrentSense => Seconds::new(0.38 * resistance(ctx) * c_bl),
+    }
+}
+
+/// Bitline time on a write: full-swing drive by the write driver.
+pub fn write_delay(ctx: &Ctx<'_>) -> Seconds {
+    let node = ctx.node();
+    let driver_width = node.min_width() * calib::WRITE_DRIVER_WIDTH_MULT;
+    let r_drive = ctx.nmos.equivalent_resistance(ctx.op(), driver_width).get();
+    let c_bl = capacitance(ctx).get();
+    Seconds::new(0.69 * (r_drive + resistance(ctx)) * c_bl)
+}
+
+/// Bitline energy on a read: every column in the activated row swings by
+/// the sense margin (voltage sensing); current-sense arrays only charge
+/// the selected columns' lines to the read voltage (folded into the
+/// cell's read energy, so just the wire here).
+pub fn read_energy(ctx: &Ctx<'_>) -> Joules {
+    let c_bl = capacitance(ctx).get();
+    let vdd = ctx.op().vdd().get();
+    let cols = f64::from(ctx.org.cols());
+    let e = match ctx.spec.cell().read_mechanism() {
+        ReadMechanism::VoltageSense { swing } => cols * c_bl * vdd * swing.get(),
+        ReadMechanism::CurrentSense => ctx.spec.transfer_bits() * c_bl * vdd * vdd * 0.25,
+    };
+    Joules::new(e * port_energy_factor(ctx))
+}
+
+/// Bitline energy on a write: written columns swing fully; for
+/// voltage-sense cells the rest of the activated row still swings by the
+/// sense margin.
+pub fn write_energy(ctx: &Ctx<'_>) -> Joules {
+    let c_bl = capacitance(ctx).get();
+    let vdd = ctx.op().vdd().get();
+    let bits = ctx.spec.transfer_bits();
+    let cols = f64::from(ctx.org.cols());
+    let e = match ctx.spec.cell().read_mechanism() {
+        ReadMechanism::VoltageSense { swing } => {
+            bits * c_bl * vdd * vdd + (cols - bits).max(0.0) * c_bl * vdd * swing.get()
+        }
+        ReadMechanism::CurrentSense => bits * c_bl * vdd * vdd,
+    };
+    Joules::new(e * port_energy_factor(ctx))
+}
+
+fn port_energy_factor(ctx: &Ctx<'_>) -> f64 {
+    if ctx.spec.dual_port() {
+        calib::DUAL_PORT_ENERGY_FACTOR
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::Organization;
+    use crate::spec::ArraySpec;
+    use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+    use coldtall_tech::ProcessNode;
+
+    fn ctx_for(cell: CellModel) -> (ArraySpec, Organization) {
+        let node = ProcessNode::ptm_22nm_hp();
+        (ArraySpec::llc_16mib(cell, &node), Organization::new(512, 1024))
+    }
+
+    #[test]
+    fn taller_subarrays_have_heavier_bitlines() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+        let short = Ctx::new(&spec, Organization::new(128, 512));
+        let tall = Ctx::new(&spec, Organization::new(2048, 512));
+        assert!(capacitance(&tall).get() > capacitance(&short).get() * 10.0);
+        assert!(read_delay(&tall) > read_delay(&short));
+    }
+
+    #[test]
+    fn sram_read_develops_in_fraction_of_ns_to_ns() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let (spec, org) = ctx_for(CellModel::sram(&node));
+        let ctx = Ctx::new(&spec, org);
+        let ns = read_delay(&ctx).as_nanos();
+        assert!(ns > 0.05 && ns < 3.0, "bitline develop = {ns} ns");
+    }
+
+    #[test]
+    fn envm_bitline_flight_is_fast() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let pcm = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &node);
+        let (spec, org) = ctx_for(pcm);
+        let ctx = Ctx::new(&spec, org);
+        assert!(read_delay(&ctx).as_nanos() < 0.2);
+    }
+
+    #[test]
+    fn write_energy_exceeds_read_energy_for_sram() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let (spec, org) = ctx_for(CellModel::sram(&node));
+        let ctx = Ctx::new(&spec, org);
+        assert!(write_energy(&ctx) > read_energy(&ctx));
+    }
+}

@@ -1,0 +1,55 @@
+//! Row-decoder model: a chain of logarithmic decode stages.
+
+use coldtall_units::{Joules, Seconds};
+
+use super::Ctx;
+use crate::calib;
+
+/// Decode depth in stages: one gating level per address bit of the
+/// subarray plus bank-select levels for the tiling grid.
+fn decode_levels(ctx: &Ctx<'_>) -> f64 {
+    let row_bits = f64::from(ctx.org.rows()).log2();
+    let grid_bits = (ctx.geom.subarrays_per_die as f64).log2().max(0.0) / 2.0;
+    row_bits + grid_bits
+}
+
+/// Decoder critical-path delay.
+pub fn delay(ctx: &Ctx<'_>) -> Seconds {
+    ctx.fo4 * (calib::DECODER_STAGE_FO4 * decode_levels(ctx))
+}
+
+/// Decoder switching energy per access.
+pub fn energy(ctx: &Ctx<'_>) -> Joules {
+    let node = ctx.node();
+    let stage_cap = ctx.nmos.gate_cap(node.min_width()).get() * 10.0;
+    let vdd = ctx.op().vdd().get();
+    Joules::new(decode_levels(ctx) * stage_cap * vdd * vdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::Organization;
+    use crate::spec::ArraySpec;
+    use coldtall_cell::CellModel;
+    use coldtall_tech::ProcessNode;
+
+    #[test]
+    fn more_rows_decode_slower() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+        let small = Ctx::new(&spec, Organization::new(128, 512));
+        let large = Ctx::new(&spec, Organization::new(2048, 512));
+        assert!(delay(&large) > delay(&small));
+        assert!(energy(&large) > energy(&small));
+    }
+
+    #[test]
+    fn decoder_delay_is_subnanosecond() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+        let ctx = Ctx::new(&spec, Organization::new(1024, 1024));
+        let ns = delay(&ctx).as_nanos();
+        assert!(ns > 0.05 && ns < 1.0, "decoder delay = {ns} ns");
+    }
+}

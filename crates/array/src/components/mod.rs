@@ -1,0 +1,125 @@
+//! Per-component electrical models of the array.
+//!
+//! Each submodule models one stage of the access path (decode, wordline,
+//! bitline, sensing, H-tree distribution, vertical interconnect) or one
+//! background behaviour (leakage, refresh). All of them consume the
+//! shared evaluation context [`Ctx`].
+
+pub mod bitline;
+pub mod decoder;
+pub mod geometry;
+pub mod htree;
+pub mod leakage;
+pub mod refresh;
+pub mod sense;
+pub mod vertical;
+pub mod wordline;
+
+use coldtall_tech::{Mosfet, OperatingPoint, ProcessNode};
+use coldtall_units::{Kelvin, Seconds};
+
+use crate::calib;
+use crate::organization::Organization;
+use crate::spec::ArraySpec;
+
+pub use geometry::Geometry;
+
+/// Shared evaluation context: the spec, the candidate organization, the
+/// derived geometry, and pre-built device models.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// The array under characterization.
+    pub spec: &'a ArraySpec,
+    /// The candidate internal organization.
+    pub org: Organization,
+    /// Derived physical geometry.
+    pub geom: Geometry,
+    /// Plain NMOS device of the node.
+    pub nmos: Mosfet,
+    /// Plain PMOS device of the node.
+    pub pmos: Mosfet,
+    /// Fan-of-four inverter delay at the operating point.
+    pub fo4: Seconds,
+    /// Intrinsic device RC product used for repeater insertion.
+    pub device_rc: Seconds,
+}
+
+impl<'a> Ctx<'a> {
+    /// Builds the context for one candidate organization.
+    pub fn new(spec: &'a ArraySpec, org: Organization) -> Self {
+        let node = spec.node();
+        let op = spec.op();
+        let nmos = Mosfet::nmos(node);
+        let pmos = Mosfet::pmos(node);
+        let w_min = node.min_width();
+        let r_eq = nmos.equivalent_resistance(op, w_min);
+        let c_load = nmos.gate_cap(w_min) * 4.0 + nmos.junction_cap(w_min);
+        let fo4 = Seconds::new(calib::FO4_FACTOR * r_eq.get() * c_load.get())
+            * spec.stacking().device_derate();
+        let device_rc = Seconds::new(r_eq.get() * nmos.gate_cap(w_min).get());
+        let geom = Geometry::derive(spec, org);
+        Self {
+            spec,
+            org,
+            geom,
+            nmos,
+            pmos,
+            fo4,
+            device_rc,
+        }
+    }
+
+    /// Shorthand for the node.
+    pub fn node(&self) -> &ProcessNode {
+        self.spec.node()
+    }
+
+    /// Shorthand for the operating point.
+    pub fn op(&self) -> &OperatingPoint {
+        self.spec.op()
+    }
+
+    /// Shorthand for the operating temperature.
+    pub fn temperature(&self) -> Kelvin {
+        self.spec.op().temperature()
+    }
+
+    /// Device-speed factor relative to nominal 300 K operation: the ratio
+    /// of equivalent resistances. Below 1 means faster devices.
+    pub fn device_speed_factor(&self) -> f64 {
+        let node = self.spec.node();
+        let nominal = coldtall_tech::OperatingPoint::nominal(node, Kelvin::ROOM);
+        let w = node.min_width();
+        self.nmos.equivalent_resistance(self.spec.op(), w)
+            / self.nmos.equivalent_resistance(&nominal, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_cell::CellModel;
+
+    #[test]
+    fn context_builds_with_reasonable_fo4() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+        let ctx = Ctx::new(&spec, Organization::new(512, 512));
+        let fo4_ps = ctx.fo4.get() * 1e12;
+        assert!(fo4_ps > 2.0 && fo4_ps < 30.0, "FO4 = {fo4_ps} ps");
+        assert!(ctx.device_rc.get() > 0.0);
+    }
+
+    #[test]
+    fn cryo_devices_are_faster() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .at_temperature_cryo(Kelvin::LN2);
+        let ctx = Ctx::new(&spec, Organization::new(512, 512));
+        assert!(ctx.device_speed_factor() < 0.7);
+        let hot = ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .at_temperature(Kelvin::new(387.0));
+        let ctx_hot = Ctx::new(&hot, Organization::new(512, 512));
+        assert!(ctx_hot.device_speed_factor() > 1.0);
+    }
+}

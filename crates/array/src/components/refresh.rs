@@ -1,0 +1,123 @@
+//! Refresh model for decaying (eDRAM) technologies.
+
+use coldtall_units::{Seconds, Watts};
+
+use super::{bitline, decoder, wordline, Ctx};
+use crate::calib;
+
+/// Independent refresh engines per die. Refresh is serialized through
+/// each die's shared decode/H-tree resources, which is what makes
+/// room-temperature 3T-eDRAM unusable in the paper (94% IPC loss).
+const REFRESH_ENGINES_PER_DIE: f64 = 1.0;
+
+/// The refresh behaviour of an array at its operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshProfile {
+    /// Cell retention time.
+    pub retention: Seconds,
+    /// Average power spent refreshing.
+    pub power: Watts,
+    /// Fraction of time the array is unavailable due to refresh, in
+    /// `[0, 1]`; a value of 1 means refresh cannot keep up at all.
+    pub busy_fraction: f64,
+}
+
+/// Computes the refresh profile, or `None` for non-decaying technologies.
+pub fn profile(ctx: &Ctx<'_>) -> Option<RefreshProfile> {
+    let cell = ctx.spec.cell();
+    if !cell.needs_refresh() {
+        return None;
+    }
+    let retention = cell
+        .retention(ctx.node(), ctx.op())
+        .expect("refresh-dependent cells always model a storage node");
+
+    let rows_total = ctx.geom.subarrays_total as f64 * f64::from(ctx.org.rows());
+    let rows_per_engine =
+        rows_total / (f64::from(ctx.spec.dies()) * REFRESH_ENGINES_PER_DIE);
+
+    // One row refresh is a local read-and-restore: decode, wordline, and
+    // bitline write-back (no H-tree trip).
+    let t_row = decoder::delay(ctx) + wordline::delay(ctx) + bitline::write_delay(ctx);
+    let busy_fraction = (rows_per_engine * t_row.get() / retention.get()).min(1.0);
+
+    // Row refresh energy: a gain-cell refresh restores every storage
+    // node in the row (C_storage V^2 each) and fires the wordline; it
+    // does not pay full bitline swings, H-tree trips, or sensing at the
+    // external access margin.
+    let storage = cell
+        .storage()
+        .expect("refresh-dependent cells always model a storage node");
+    let vdd = ctx.op().vdd().get();
+    let cols = f64::from(ctx.org.cols());
+    let row_energy = (cols * storage.capacitance.get() * vdd * vdd
+        + wordline::energy(ctx).get())
+        * calib::REFRESH_ENERGY_FACTOR;
+    let power = Watts::new(rows_total * row_energy / retention.get());
+
+    Some(RefreshProfile {
+        retention,
+        power,
+        busy_fraction,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::Organization;
+    use crate::spec::ArraySpec;
+    use coldtall_cell::CellModel;
+    use coldtall_tech::ProcessNode;
+    use coldtall_units::Kelvin;
+
+    fn edram_at(t: f64, cryo: bool) -> RefreshProfile {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::edram_3t(&node), &node);
+        let spec = if cryo {
+            spec.at_temperature_cryo(Kelvin::new(t))
+        } else {
+            spec.at_temperature(Kelvin::new(t))
+        };
+        profile(&Ctx::new(&spec, Organization::new(1024, 1024))).unwrap()
+    }
+
+    #[test]
+    fn sram_never_refreshes() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+        assert!(profile(&Ctx::new(&spec, Organization::new(512, 512))).is_none());
+    }
+
+    #[test]
+    fn edram_at_300k_is_refresh_crippled() {
+        // The paper: 3T-eDRAM LLCs cannot run ordinary workloads at 300 K
+        // (94% IPC reduction from refresh).
+        let p = edram_at(300.0, false);
+        assert!(p.busy_fraction > 0.9, "busy = {}", p.busy_fraction);
+    }
+
+    #[test]
+    fn edram_at_350k_is_infeasible() {
+        let p = edram_at(350.0, false);
+        assert!((p.busy_fraction - 1.0).abs() < 1e-9);
+        assert!(p.power.get() > 0.01, "refresh power = {}", p.power);
+    }
+
+    #[test]
+    fn edram_at_77k_is_refresh_free() {
+        let p = edram_at(77.0, true);
+        assert!(p.busy_fraction < 1e-3, "busy = {}", p.busy_fraction);
+        assert!(p.power.get() < 1e-3, "refresh power = {}", p.power);
+        assert!(p.retention.get() > 1.0);
+    }
+
+    #[test]
+    fn retention_monotone_with_temperature() {
+        let cold = edram_at(200.0, false);
+        let warm = edram_at(300.0, false);
+        let hot = edram_at(387.0, false);
+        assert!(cold.retention > warm.retention);
+        assert!(warm.retention > hot.retention);
+    }
+}

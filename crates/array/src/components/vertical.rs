@@ -1,0 +1,76 @@
+//! Vertical interconnect (TSV / bond / via) model for stacked arrays.
+
+use coldtall_units::{Joules, Seconds};
+
+use super::Ctx;
+use crate::calib;
+
+/// Average number of vertical crossings an access traverses.
+fn average_hops(ctx: &Ctx<'_>) -> f64 {
+    f64::from(ctx.spec.dies().saturating_sub(1)) / 2.0
+}
+
+/// Vertical-bus delay for an average access.
+pub fn delay(ctx: &Ctx<'_>) -> Seconds {
+    let cap = ctx.spec.stacking().via_cap_f();
+    Seconds::new(0.69 * calib::TSV_DRIVE_OHMS * cap * average_hops(ctx))
+}
+
+/// Vertical-bus switching energy for an average access.
+pub fn energy(ctx: &Ctx<'_>) -> Joules {
+    let cap = ctx.spec.stacking().via_cap_f();
+    let vdd = ctx.op().vdd().get();
+    let signals = ctx.spec.transfer_bits() + calib::ADDRESS_BITS;
+    Joules::new(signals * cap * vdd * vdd * average_hops(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::Organization;
+    use crate::spec::ArraySpec;
+    use crate::stacking::Stacking;
+    use coldtall_cell::CellModel;
+    use coldtall_tech::ProcessNode;
+
+    fn spec_dies(dies: u8) -> ArraySpec {
+        let node = ProcessNode::ptm_22nm_hp();
+        ArraySpec::llc_16mib(CellModel::sram(&node), &node).with_dies(dies)
+    }
+
+    #[test]
+    fn planar_arrays_pay_nothing() {
+        let ctx_spec = spec_dies(1);
+        let ctx = Ctx::new(&ctx_spec, Organization::new(512, 1024));
+        assert_eq!(delay(&ctx).get(), 0.0);
+        assert_eq!(energy(&ctx).get(), 0.0);
+    }
+
+    #[test]
+    fn more_dies_cost_more_hops() {
+        let s2 = spec_dies(2);
+        let s8 = spec_dies(8);
+        let org = Organization::new(512, 1024);
+        assert!(energy(&Ctx::new(&s8, org)).get() > energy(&Ctx::new(&s2, org)).get());
+        assert!(delay(&Ctx::new(&s8, org)).get() > delay(&Ctx::new(&s2, org)).get());
+    }
+
+    #[test]
+    fn monolithic_vias_are_cheapest() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let f2b = ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .with_stacking(Stacking::FaceToBack, 4);
+        let mono = ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .with_stacking(Stacking::Monolithic, 4);
+        let org = Organization::new(512, 1024);
+        assert!(energy(&Ctx::new(&mono, org)).get() < energy(&Ctx::new(&f2b, org)).get());
+    }
+
+    #[test]
+    fn tsv_delay_is_small_but_nonzero() {
+        let s8 = spec_dies(8);
+        let ctx = Ctx::new(&s8, Organization::new(512, 1024));
+        let ps = delay(&ctx).get() * 1e12;
+        assert!(ps > 1.0 && ps < 200.0, "TSV delay = {ps} ps");
+    }
+}

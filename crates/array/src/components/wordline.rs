@@ -1,0 +1,70 @@
+//! Wordline model: a distributed RC line loaded by access gates.
+
+use coldtall_tech::WireKind;
+use coldtall_units::{Farads, Joules, Meters, Seconds};
+
+use super::Ctx;
+use crate::calib;
+
+/// Total gate load hanging on one wordline.
+fn gate_load(ctx: &Ctx<'_>) -> Farads {
+    let node = ctx.node();
+    ctx.nmos.gate_cap(node.min_width()) * f64::from(ctx.org.cols())
+}
+
+/// Wordline length across the subarray.
+fn length(ctx: &Ctx<'_>) -> Meters {
+    Meters::new(f64::from(ctx.org.cols()) * ctx.geom.cell_width)
+}
+
+/// Wordline rise delay: driver resistance into the distributed line.
+pub fn delay(ctx: &Ctx<'_>) -> Seconds {
+    let node = ctx.node();
+    let wire = node.wire(WireKind::Local);
+    let driver_width = node.min_width() * calib::WL_DRIVER_WIDTH_MULT;
+    let r_drive = ctx.nmos.equivalent_resistance(ctx.op(), driver_width);
+    wire.distributed_delay(length(ctx), ctx.temperature(), r_drive, gate_load(ctx))
+        * ctx.spec.stacking().device_derate()
+}
+
+/// Wordline switching energy per activation.
+pub fn energy(ctx: &Ctx<'_>) -> Joules {
+    let node = ctx.node();
+    let wire = node.wire(WireKind::Local);
+    let c_total = wire.capacitance(length(ctx)) + gate_load(ctx);
+    let vdd = ctx.op().vdd().get();
+    Joules::new(c_total.get() * vdd * vdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organization::Organization;
+    use crate::spec::ArraySpec;
+    use coldtall_cell::CellModel;
+    use coldtall_tech::ProcessNode;
+    use coldtall_units::Kelvin;
+
+    #[test]
+    fn wider_subarrays_have_slower_wordlines() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+        let narrow = Ctx::new(&spec, Organization::new(512, 256));
+        let wide = Ctx::new(&spec, Organization::new(512, 4096));
+        assert!(delay(&wide) > delay(&narrow));
+        assert!(energy(&wide) > energy(&narrow));
+    }
+
+    #[test]
+    fn cryo_wordline_is_faster() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let warm = ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .at_temperature(Kelvin::REFERENCE);
+        let cold = ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .at_temperature_cryo(Kelvin::LN2);
+        let org = Organization::new(512, 1024);
+        let d_warm = delay(&Ctx::new(&warm, org));
+        let d_cold = delay(&Ctx::new(&cold, org));
+        assert!(d_cold.get() < d_warm.get() * 0.6);
+    }
+}

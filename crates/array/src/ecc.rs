@@ -1,0 +1,84 @@
+//! Error-correction schemes and their storage overheads.
+
+use core::fmt;
+
+/// The error-correction scheme protecting the array.
+///
+/// NVMExplorer's inputs include application fault-tolerance demands;
+/// stronger codes cost proportionally more storage, transport, and
+/// (through the larger arrays) energy. eNVMs with marginal retention or
+/// endurance are typically deployed with stronger-than-SECDED codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EccScheme {
+    /// No check bits.
+    None,
+    /// Single-error-correct, double-error-detect: one check byte per
+    /// eight data bytes (the study default).
+    #[default]
+    Secded,
+    /// A BCH-class multi-bit-correcting code: two check bytes per eight
+    /// data bytes.
+    Bch,
+}
+
+impl EccScheme {
+    /// All schemes, weakest first.
+    pub const ALL: [Self; 3] = [Self::None, Self::Secded, Self::Bch];
+
+    /// Storage (and transport) overhead factor.
+    #[must_use]
+    pub fn storage_overhead(self) -> f64 {
+        match self {
+            Self::None => 1.0,
+            Self::Secded => 1.125,
+            Self::Bch => 1.25,
+        }
+    }
+
+    /// Correctable random bit errors per protected word.
+    #[must_use]
+    pub fn correctable_bits(self) -> u32 {
+        match self {
+            Self::None => 0,
+            Self::Secded => 1,
+            Self::Bch => 3,
+        }
+    }
+}
+
+impl fmt::Display for EccScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::None => "no-ECC",
+            Self::Secded => "SECDED",
+            Self::Bch => "BCH",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_ordered() {
+        let mut prev = 0.0;
+        for scheme in EccScheme::ALL {
+            assert!(scheme.storage_overhead() > prev);
+            prev = scheme.storage_overhead();
+        }
+        assert_eq!(EccScheme::None.storage_overhead(), 1.0);
+        assert_eq!(EccScheme::Secded.storage_overhead(), 1.125);
+    }
+
+    #[test]
+    fn correction_strength_is_ordered() {
+        assert!(EccScheme::Bch.correctable_bits() > EccScheme::Secded.correctable_bits());
+        assert_eq!(EccScheme::None.correctable_bits(), 0);
+    }
+
+    #[test]
+    fn default_is_the_study_scheme() {
+        assert_eq!(EccScheme::default(), EccScheme::Secded);
+    }
+}

@@ -1,0 +1,131 @@
+//! Internal-organization optimizer.
+
+use core::fmt;
+
+use crate::characterize::ArrayCharacterization;
+use crate::organization::Organization;
+use crate::spec::ArraySpec;
+
+/// The objective the organization search minimizes.
+///
+/// The paper's arrays are optimized for energy-delay product; the other
+/// objectives support the `Optimal LLC` selection of Table II and
+/// ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Minimize read energy times read latency (the paper's default).
+    #[default]
+    EnergyDelayProduct,
+    /// Minimize read latency.
+    ReadLatency,
+    /// Minimize read energy.
+    ReadEnergy,
+    /// Minimize the 2D footprint.
+    Area,
+    /// Minimize standby (leakage + refresh) power.
+    StandbyPower,
+}
+
+impl Objective {
+    /// The scalar score this objective assigns (lower is better).
+    #[must_use]
+    pub fn score(self, array: &ArrayCharacterization) -> f64 {
+        match self {
+            Self::EnergyDelayProduct => array.read_edp(),
+            Self::ReadLatency => array.read_latency.get(),
+            Self::ReadEnergy => array.read_energy.get(),
+            Self::Area => array.footprint.get(),
+            Self::StandbyPower => array.standby_power().get(),
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::EnergyDelayProduct => "energy-delay product",
+            Self::ReadLatency => "read latency",
+            Self::ReadEnergy => "read energy",
+            Self::Area => "area",
+            Self::StandbyPower => "standby power",
+        })
+    }
+}
+
+/// Searches every candidate organization and returns the characterization
+/// minimizing `objective`.
+///
+/// Organizations whose subarray would exceed the total capacity (more
+/// subarray bits than the array stores) are skipped; at least one
+/// candidate always remains for the capacities in this study.
+///
+/// # Panics
+///
+/// Panics if no candidate organization fits the spec (capacity smaller
+/// than the smallest subarray).
+#[must_use]
+pub fn optimize(spec: &ArraySpec, objective: Objective) -> ArrayCharacterization {
+    let total_bits = spec.capacity().bits_f64() * spec.storage_overhead();
+    Organization::candidates()
+        .filter(|org| {
+            // A subarray must not dwarf the per-die share of the array.
+            let per_die = total_bits / f64::from(spec.dies());
+            org.bits_per_subarray() as f64 <= per_die
+        })
+        .map(|org| ArrayCharacterization::evaluate(spec, org))
+        .min_by(|a, b| {
+            objective
+                .score(a)
+                .partial_cmp(&objective.score(b))
+                .expect("objective scores are finite")
+        })
+        .expect("no feasible organization for the given capacity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+    use coldtall_tech::ProcessNode;
+
+    fn spec() -> ArraySpec {
+        let node = ProcessNode::ptm_22nm_hp();
+        ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+    }
+
+    #[test]
+    fn edp_choice_is_no_worse_than_any_candidate() {
+        let s = spec();
+        let best = optimize(&s, Objective::EnergyDelayProduct);
+        for org in Organization::candidates() {
+            let other = ArrayCharacterization::evaluate(&s, org);
+            assert!(best.read_edp() <= other.read_edp() + 1e-30);
+        }
+    }
+
+    #[test]
+    fn objectives_pick_their_own_optimum() {
+        let s = spec();
+        let fastest = optimize(&s, Objective::ReadLatency);
+        let leanest = optimize(&s, Objective::ReadEnergy);
+        assert!(fastest.read_latency <= leanest.read_latency);
+        assert!(leanest.read_energy <= fastest.read_energy);
+    }
+
+    #[test]
+    fn area_objective_minimizes_footprint() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let pcm = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &node);
+        let s = ArraySpec::llc_16mib(pcm, &node);
+        let smallest = optimize(&s, Objective::Area);
+        let fastest = optimize(&s, Objective::ReadLatency);
+        assert!(smallest.footprint.get() <= fastest.footprint.get());
+    }
+
+    #[test]
+    fn optimizer_respects_die_count() {
+        let s = spec().with_dies(8);
+        let a = optimize(&s, Objective::EnergyDelayProduct);
+        assert_eq!(a.dies, 8);
+    }
+}

@@ -1,0 +1,152 @@
+//! Internal array organization: subarray dimensions and tiling.
+
+use core::fmt;
+
+use coldtall_units::Capacity;
+
+/// The internal organization of a memory bank: the subarray dimensions
+/// from which everything else (subarray count, per-die tiling) derives.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_array::Organization;
+/// use coldtall_units::Capacity;
+///
+/// let org = Organization::new(512, 1024);
+/// let subarrays = org.subarray_count(Capacity::from_mebibytes(16), 1.125);
+/// assert_eq!(subarrays, 288); // 16 MiB * 1.125 ECC over 512x1024 subarrays
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Organization {
+    rows: u32,
+    cols: u32,
+}
+
+impl Organization {
+    /// Candidate subarray row counts explored by the optimizer.
+    pub const ROW_CANDIDATES: [u32; 5] = [128, 256, 512, 1024, 2048];
+    /// Candidate subarray column counts explored by the optimizer.
+    pub const COL_CANDIDATES: [u32; 5] = [256, 512, 1024, 2048, 4096];
+
+    /// Creates an organization with the given subarray dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or not a power of two (decoders
+    /// require power-of-two geometry).
+    #[must_use]
+    pub fn new(rows: u32, cols: u32) -> Self {
+        assert!(
+            rows.is_power_of_two() && cols.is_power_of_two(),
+            "subarray dimensions must be powers of two, got {rows}x{cols}"
+        );
+        Self { rows, cols }
+    }
+
+    /// Rows per subarray.
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Columns (bitlines) per subarray.
+    #[must_use]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Bits stored in one subarray.
+    #[must_use]
+    pub fn bits_per_subarray(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.cols)
+    }
+
+    /// Number of subarrays needed for `capacity` scaled by the storage
+    /// overhead factor (e.g. 1.125 for ECC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overhead` is not at least 1.
+    #[must_use]
+    pub fn subarray_count(&self, capacity: Capacity, overhead: f64) -> u64 {
+        assert!(overhead >= 1.0, "storage overhead must be >= 1");
+        let bits = (capacity.bits_f64() * overhead).ceil() as u64;
+        bits.div_ceil(self.bits_per_subarray())
+    }
+
+    /// Subarrays placed on each die when tiled over `dies` dies.
+    #[must_use]
+    pub fn subarrays_per_die(&self, capacity: Capacity, overhead: f64, dies: u8) -> u64 {
+        self.subarray_count(capacity, overhead)
+            .div_ceil(u64::from(dies.max(1)))
+    }
+
+    /// Every candidate organization, row-major.
+    pub fn candidates() -> impl Iterator<Item = Self> {
+        Self::ROW_CANDIDATES.into_iter().flat_map(|rows| {
+            Self::COL_CANDIDATES
+                .into_iter()
+                .map(move |cols| Self::new(rows, cols))
+        })
+    }
+}
+
+impl fmt::Display for Organization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subarray_count_covers_capacity() {
+        let org = Organization::new(512, 512);
+        let cap = Capacity::from_mebibytes(16);
+        let n = org.subarray_count(cap, 1.0);
+        assert!(n * org.bits_per_subarray() >= cap.bits());
+        assert_eq!(n, 512);
+    }
+
+    #[test]
+    fn ecc_overhead_adds_subarrays() {
+        let org = Organization::new(512, 512);
+        let cap = Capacity::from_mebibytes(16);
+        assert!(org.subarray_count(cap, 1.125) > org.subarray_count(cap, 1.0));
+    }
+
+    #[test]
+    fn per_die_tiling() {
+        let org = Organization::new(512, 512);
+        let cap = Capacity::from_mebibytes(16);
+        assert_eq!(org.subarrays_per_die(cap, 1.0, 8), 64);
+        assert_eq!(org.subarrays_per_die(cap, 1.0, 1), 512);
+    }
+
+    #[test]
+    fn candidates_are_all_unique_powers_of_two() {
+        let all: Vec<_> = Organization::candidates().collect();
+        assert_eq!(
+            all.len(),
+            Organization::ROW_CANDIDATES.len() * Organization::COL_CANDIDATES.len()
+        );
+        for org in &all {
+            assert!(org.rows().is_power_of_two());
+            assert!(org.cols().is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Organization::new(256, 1024).to_string(), "256x1024");
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Organization::new(300, 512);
+    }
+}

@@ -1,0 +1,137 @@
+//! 3D integration styles and their vertical-interconnect parameters.
+
+use core::fmt;
+
+use crate::calib;
+
+/// The 3D-integration strategy of an array.
+///
+/// The paper's background (Section II-C) describes three methods with
+/// distinct trade-offs:
+///
+/// * **face-to-face** bonding offers dense bond points but is limited to
+///   two layers,
+/// * **face-to-back** TSV stacking scales to many dies at coarser pitch,
+/// * **monolithic** integration offers the densest vias but restricts
+///   what can be fabricated on upper layers (upper-layer devices are
+///   derated here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Stacking {
+    /// Conventional single-die (2D) integration.
+    #[default]
+    Planar,
+    /// Two dies bonded face-to-face.
+    FaceToFace,
+    /// TSV-based face-to-back stacking (the study's 3D default).
+    FaceToBack,
+    /// Monolithic 3D integration.
+    Monolithic,
+}
+
+impl Stacking {
+    /// Maximum number of dies this style can stack.
+    #[must_use]
+    pub fn max_dies(self) -> u8 {
+        match self {
+            Self::Planar => 1,
+            Self::FaceToFace => 2,
+            Self::FaceToBack | Self::Monolithic => 8,
+        }
+    }
+
+    /// Returns `true` if `dies` is a legal die count for this style.
+    #[must_use]
+    pub fn supports_dies(self, dies: u8) -> bool {
+        dies >= 1 && dies <= self.max_dies() && (dies == 1 || self != Self::Planar)
+    }
+
+    /// Capacitance of one vertical crossing (TSV, bond point, or via).
+    #[must_use]
+    pub fn via_cap_f(self) -> f64 {
+        match self {
+            Self::Planar => 0.0,
+            Self::FaceToFace => calib::TSV_CAP_F2F,
+            Self::FaceToBack => calib::TSV_CAP_F2B,
+            Self::Monolithic => calib::TSV_CAP_MONOLITHIC,
+        }
+    }
+
+    /// Pitch of the vertical interconnect field.
+    #[must_use]
+    pub fn via_pitch_m(self) -> f64 {
+        match self {
+            Self::Planar => 0.0,
+            Self::FaceToFace => calib::TSV_PITCH_F2F,
+            Self::FaceToBack => calib::TSV_PITCH_F2B,
+            Self::Monolithic => calib::TSV_PITCH_MONOLITHIC,
+        }
+    }
+
+    /// Multiplicative derating on device delay for logic realized on
+    /// upper layers (monolithic integration only).
+    #[must_use]
+    pub fn device_derate(self) -> f64 {
+        match self {
+            Self::Monolithic => calib::MONOLITHIC_DEVICE_DERATE,
+            _ => 1.0,
+        }
+    }
+
+    /// The stacking style the study uses for a given die count: planar
+    /// for one die, face-to-back otherwise.
+    #[must_use]
+    pub fn default_for_dies(dies: u8) -> Self {
+        if dies <= 1 {
+            Self::Planar
+        } else {
+            Self::FaceToBack
+        }
+    }
+}
+
+impl fmt::Display for Stacking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Planar => "2D",
+            Self::FaceToFace => "3D face-to-face",
+            Self::FaceToBack => "3D face-to-back",
+            Self::Monolithic => "3D monolithic",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn die_count_limits() {
+        assert!(Stacking::Planar.supports_dies(1));
+        assert!(!Stacking::Planar.supports_dies(2));
+        assert!(Stacking::FaceToFace.supports_dies(2));
+        assert!(!Stacking::FaceToFace.supports_dies(4));
+        assert!(Stacking::FaceToBack.supports_dies(8));
+        assert!(Stacking::Monolithic.supports_dies(8));
+        assert!(!Stacking::FaceToBack.supports_dies(0));
+    }
+
+    #[test]
+    fn via_parameters_ordered_by_density() {
+        assert!(Stacking::Monolithic.via_pitch_m() < Stacking::FaceToFace.via_pitch_m());
+        assert!(Stacking::FaceToFace.via_pitch_m() < Stacking::FaceToBack.via_pitch_m());
+        assert!(Stacking::Monolithic.via_cap_f() < Stacking::FaceToBack.via_cap_f());
+    }
+
+    #[test]
+    fn default_style_selection() {
+        assert_eq!(Stacking::default_for_dies(1), Stacking::Planar);
+        assert_eq!(Stacking::default_for_dies(4), Stacking::FaceToBack);
+        assert_eq!(Stacking::default(), Stacking::Planar);
+    }
+
+    #[test]
+    fn only_monolithic_derates_devices() {
+        assert_eq!(Stacking::FaceToBack.device_derate(), 1.0);
+        assert!(Stacking::Monolithic.device_derate() > 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the array-characterization engine: the inner
+//! loop behind every figure (NVSim/Destiny/CryoMEM-equivalent work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use coldtall_array::{ArraySpec, Objective};
+use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+use coldtall_tech::ProcessNode;
+use coldtall_units::Kelvin;
+
+fn bench_characterize(c: &mut Criterion) {
+    let node = ProcessNode::ptm_22nm_hp();
+    let mut group = c.benchmark_group("characterize_16mib");
+    for tech in [
+        MemoryTechnology::Sram,
+        MemoryTechnology::Edram3T,
+        MemoryTechnology::Pcm,
+        MemoryTechnology::SttRam,
+    ] {
+        let cell = CellModel::tentpole(tech, Tentpole::Optimistic, &node);
+        let spec = ArraySpec::llc_16mib(cell, &node);
+        group.bench_with_input(BenchmarkId::from_parameter(tech.name()), &spec, |b, spec| {
+            b.iter(|| black_box(spec.characterize(Objective::EnergyDelayProduct)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_die_counts(c: &mut Criterion) {
+    let node = ProcessNode::ptm_22nm_hp();
+    let mut group = c.benchmark_group("characterize_stacked_pcm");
+    for dies in [1u8, 2, 4, 8] {
+        let cell = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &node);
+        let mut spec = ArraySpec::llc_16mib(cell, &node);
+        if dies > 1 {
+            spec = spec.with_dies(dies);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(dies), &spec, |b, spec| {
+            b.iter(|| black_box(spec.characterize(Objective::EnergyDelayProduct)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_temperature_sweep(c: &mut Criterion) {
+    let node = ProcessNode::ptm_22nm_hp();
+    let cell = CellModel::sram(&node);
+    let spec = ArraySpec::llc_16mib(cell, &node);
+    c.bench_function("characterize_cryo_sweep", |b| {
+        b.iter(|| {
+            for t in coldtall_cryo::study_temperatures() {
+                black_box(coldtall_cryo::characterize_at(
+                    &spec,
+                    t,
+                    Objective::EnergyDelayProduct,
+                ));
+            }
+        });
+    });
+    c.bench_function("characterize_77k_single", |b| {
+        b.iter(|| {
+            black_box(coldtall_cryo::characterize_at(
+                &spec,
+                Kelvin::LN2,
+                Objective::EnergyDelayProduct,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_characterize,
+    bench_die_counts,
+    bench_temperature_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the design-space exploration driver: the
+//! end-to-end cost of regenerating the paper's figures and Table II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coldtall_core::{selection, Explorer, MemoryConfig};
+use coldtall_workloads::benchmark;
+
+fn bench_single_evaluation(c: &mut Criterion) {
+    let explorer = Explorer::with_defaults();
+    let namd = benchmark("namd").expect("benchmark present");
+    let config = MemoryConfig::edram_77k();
+    // Prime the characterization cache so this measures the application
+    // model alone.
+    let _ = explorer.evaluate(&config, namd);
+    c.bench_function("evaluate_cached", |b| {
+        b.iter(|| black_box(explorer.evaluate(&config, namd)));
+    });
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    c.bench_function("study_sweep_cold", |b| {
+        b.iter(|| {
+            let explorer = Explorer::with_defaults();
+            black_box(explorer.sweep().len())
+        });
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_selection", |b| {
+        let explorer = Explorer::with_defaults();
+        let _ = explorer.sweep(); // prime the cache
+        b.iter(|| black_box(selection::table2(&explorer).len()));
+    });
+}
+
+criterion_group!(benches, bench_single_evaluation, bench_full_sweep, bench_table2);
+criterion_main!(benches);

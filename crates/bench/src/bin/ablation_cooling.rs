@@ -1,0 +1,5 @@
+//! Runs the ablation_cooling study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("ablation_cooling", &coldtall_bench::ablation_cooling::run());
+}

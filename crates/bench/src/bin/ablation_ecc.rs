@@ -1,0 +1,5 @@
+//! Runs the ablation_ecc study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("ablation_ecc", &coldtall_bench::ablation_ecc::run());
+}

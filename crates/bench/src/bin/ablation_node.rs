@@ -1,0 +1,5 @@
+//! Runs the ablation_node study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("ablation_node", &coldtall_bench::ablation_node::run());
+}

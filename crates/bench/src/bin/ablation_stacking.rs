@@ -1,0 +1,5 @@
+//! Runs the ablation_stacking study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("ablation_stacking", &coldtall_bench::ablation_stacking::run());
+}

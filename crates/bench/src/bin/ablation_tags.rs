@@ -1,0 +1,5 @@
+//! Runs the ablation_tags study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("ablation_tags", &coldtall_bench::ablation_tags::run());
+}

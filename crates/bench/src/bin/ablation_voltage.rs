@@ -1,0 +1,5 @@
+//! Runs the ablation_voltage study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("ablation_voltage", &coldtall_bench::ablation_voltage::run());
+}

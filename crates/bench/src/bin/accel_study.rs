@@ -1,0 +1,5 @@
+//! Runs the accel_study study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("accel_study", &coldtall_bench::accel_study::run());
+}

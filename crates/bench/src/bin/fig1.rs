@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig1 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("fig1", &coldtall_bench::fig1::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("fig3", &coldtall_bench::fig3::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("fig4", &coldtall_bench::fig4::run());
+}

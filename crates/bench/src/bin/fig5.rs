@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("fig5", &coldtall_bench::fig5::run());
+}

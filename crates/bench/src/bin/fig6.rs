@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("fig6", &coldtall_bench::fig6::run());
+}

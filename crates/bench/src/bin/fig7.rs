@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("fig7", &coldtall_bench::fig7::run());
+}

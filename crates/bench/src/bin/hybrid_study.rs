@@ -1,0 +1,5 @@
+//! Runs the hybrid_study study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("hybrid_study", &coldtall_bench::hybrid_study::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("table1", &coldtall_bench::table1::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 data series. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("table2", &coldtall_bench::table2::run());
+}

@@ -1,0 +1,5 @@
+//! Runs the variation_study experiment. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("variation_study", &coldtall_bench::variation_study::run());
+}

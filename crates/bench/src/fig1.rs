@@ -1,0 +1,68 @@
+//! Fig. 1: total LLC power of the client CPU running `namd` at
+//! temperatures between 77 K and 387 K, relative to 350 K SRAM.
+
+use coldtall_core::report::{sci, TextTable};
+use coldtall_core::{Explorer, MemoryConfig};
+use coldtall_cell::MemoryTechnology;
+use coldtall_cryo::{study_temperatures, CoolingSystem};
+use coldtall_workloads::benchmark;
+
+/// Regenerates Fig. 1: one row per (technology, temperature) with total
+/// LLC power relative to the 350 K SRAM reference — without cooling and
+/// under each cryocooler capacity tier.
+///
+/// # Panics
+///
+/// Panics if the reference benchmark is missing (it never is).
+#[must_use]
+pub fn run() -> TextTable {
+    let explorer = Explorer::with_defaults();
+    let namd = benchmark("namd").expect("namd present");
+    let mut table = TextTable::new(&[
+        "technology",
+        "temp_K",
+        "rel_power_no_cooling",
+        "rel_power_100kW",
+        "rel_power_1kW",
+        "rel_power_100W",
+        "rel_power_10W",
+    ]);
+    for tech in [MemoryTechnology::Sram, MemoryTechnology::Edram3T] {
+        for t in study_temperatures() {
+            let base = MemoryConfig::volatile_2d(tech, t);
+            let no_cooling = explorer
+                .evaluate(&base.clone().with_cooling(CoolingSystem::Server100kW), namd)
+                .device_power
+                / explorer.reference_power();
+            let mut cells = vec![
+                tech.name().to_string(),
+                format!("{:.0}", t.get()),
+                sci(no_cooling),
+            ];
+            for cooling in CoolingSystem::ALL {
+                let eval = explorer.evaluate(&base.clone().with_cooling(cooling), namd);
+                cells.push(sci(eval.relative_power));
+            }
+            table.row_owned(cells);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_both_technologies_across_the_sweep() {
+        let table = run();
+        assert_eq!(table.len(), 2 * study_temperatures().len());
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let table = run();
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), table.len() + 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 4: total LLC power for `namd` and `leela` at room temperature,
+//! cryogenic temperature, and cryogenic temperature including cooling.
+
+use coldtall_core::report::{sci, TextTable};
+use coldtall_core::{Explorer, MemoryConfig};
+use coldtall_cell::MemoryTechnology;
+use coldtall_units::Kelvin;
+use coldtall_workloads::benchmark;
+
+/// Regenerates Fig. 4: for the `namd` and `leela` benchmarks and both
+/// volatile technologies, total LLC power at 350 K, at 77 K without
+/// cooling, and at 77 K including the 100 kW-class cooling overhead —
+/// relative to 350 K SRAM running `namd`.
+///
+/// # Panics
+///
+/// Panics if either benchmark is missing (they never are).
+#[must_use]
+pub fn run() -> TextTable {
+    let explorer = Explorer::with_defaults();
+    let mut table = TextTable::new(&[
+        "benchmark",
+        "technology",
+        "rel_power_350K",
+        "rel_power_77K",
+        "rel_power_77K_cooled",
+    ]);
+    for bench_name in ["namd", "leela"] {
+        let bench = benchmark(bench_name).expect("benchmark present");
+        for tech in [MemoryTechnology::Sram, MemoryTechnology::Edram3T] {
+            let warm =
+                explorer.evaluate(&MemoryConfig::volatile_2d(tech, Kelvin::REFERENCE), bench);
+            let cold = explorer.evaluate(&MemoryConfig::volatile_2d(tech, Kelvin::LN2), bench);
+            let cold_device_rel = cold.device_power / explorer.reference_power();
+            table.row_owned(vec![
+                bench_name.to_string(),
+                tech.name().to_string(),
+                sci(warm.relative_power),
+                sci(cold_device_rel),
+                sci(cold.relative_power),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows() {
+        assert_eq!(run().len(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Extension study: hybrid SRAM + eNVM LLCs (related work, Section II-B).
+//!
+//! Sweeps the fast-partition size for SRAM+STT-RAM and SRAM+PCM hybrids
+//! on a write-heavy and a read-heavy workload, reporting power, latency,
+//! and the dense partition's wear-limited lifetime against the pure
+//! configurations.
+
+use coldtall_cell::{MemoryTechnology, Tentpole};
+use coldtall_core::report::{sci, TextTable};
+use coldtall_core::{Explorer, HybridLlc, MemoryConfig};
+use coldtall_workloads::benchmark;
+
+/// One row per (workload, dense technology, fast ways 0/2/4/8), where
+/// zero fast ways denotes the pure dense configuration and 16 the pure
+/// SRAM one.
+#[must_use]
+pub fn run() -> TextTable {
+    let explorer = Explorer::with_defaults();
+    let mut table = TextTable::new(&[
+        "benchmark",
+        "dense_technology",
+        "fast_ways",
+        "rel_power",
+        "rel_latency",
+        "lifetime_years",
+    ]);
+    for bench_name in ["lbm", "mcf"] {
+        let bench = benchmark(bench_name).expect("benchmark present");
+        for dense_tech in [MemoryTechnology::SttRam, MemoryTechnology::Pcm] {
+            let dense = MemoryConfig::envm_3d(dense_tech, Tentpole::Optimistic, 4);
+            // Pure dense end point.
+            let pure = explorer.evaluate(&dense, bench);
+            table.row_owned(vec![
+                bench_name.to_string(),
+                dense_tech.name().to_string(),
+                "0".to_string(),
+                sci(pure.relative_power),
+                sci(pure.relative_latency),
+                sci(pure.lifetime_years),
+            ]);
+            for fast_ways in [2u8, 4, 8] {
+                let hybrid =
+                    HybridLlc::new(MemoryConfig::sram_350k(), dense.clone(), fast_ways);
+                let eval = explorer.evaluate_hybrid(&hybrid, bench);
+                table.row_owned(vec![
+                    bench_name.to_string(),
+                    dense_tech.name().to_string(),
+                    fast_ways.to_string(),
+                    sci(eval.relative_power),
+                    sci(eval.relative_latency),
+                    sci(eval.lifetime_years),
+                ]);
+            }
+            // Pure SRAM end point.
+            let sram = explorer.evaluate(&MemoryConfig::sram_350k(), bench);
+            table.row_owned(vec![
+                bench_name.to_string(),
+                dense_tech.name().to_string(),
+                "16".to_string(),
+                sci(sram.relative_power),
+                sci(sram.relative_latency),
+                sci(sram.lifetime_years),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_both_workloads_and_technologies() {
+        assert_eq!(run().len(), 2 * 2 * 5);
+    }
+
+    #[test]
+    fn hybridization_extends_pcm_lifetime_on_lbm() {
+        let csv = run().to_csv();
+        let lifetime = |ways: &str| -> f64 {
+            csv.lines()
+                .find(|l| l.starts_with("lbm,PCM,") && l.split(',').nth(2) == Some(ways))
+                .and_then(|l| l.split(',').nth(5))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(lifetime("4") > lifetime("0"), "SRAM ways must shield PCM");
+    }
+}

@@ -1,0 +1,86 @@
+//! CPU model configuration (the paper's Table I).
+
+use coldtall_units::{Capacity, Hertz};
+
+use crate::cache::CacheConfig;
+
+/// The simulated CPU: core count, frequency, and the cache hierarchy.
+///
+/// [`CpuConfig::skylake_desktop`] reproduces Table I of the paper: an
+/// 8-core desktop-class CPU at 5 GHz (22 nm) with 32 KiB L1I/L1D,
+/// 512 KiB private L2, and a shared 16 MiB, 16-way L3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuConfig {
+    /// Number of cores.
+    pub cores: u8,
+    /// Core clock frequency.
+    pub frequency: Hertz,
+    /// L1 instruction cache, per core.
+    pub l1i: CacheConfig,
+    /// L1 data cache, per core.
+    pub l1d: CacheConfig,
+    /// Private unified L2, per core.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// Next-line prefetch degree at the L2 (0 disables prefetching).
+    pub prefetch_degree: u8,
+    /// Enables write-invalidate snooping coherence between the private
+    /// hierarchies (SPECrate copies share nothing, so the study default
+    /// is off; multi-threaded traces need it).
+    pub coherence: bool,
+}
+
+impl CpuConfig {
+    /// The paper's Table I desktop CPU.
+    #[must_use]
+    pub fn skylake_desktop() -> Self {
+        Self {
+            cores: 8,
+            frequency: Hertz::from_gigas(5.0),
+            l1i: CacheConfig::new(Capacity::from_kibibytes(32), 8, 64),
+            l1d: CacheConfig::new(Capacity::from_kibibytes(32), 8, 64),
+            l2: CacheConfig::new(Capacity::from_kibibytes(512), 8, 64),
+            llc: CacheConfig::new(Capacity::from_mebibytes(16), 16, 64),
+            prefetch_degree: 0,
+            coherence: false,
+        }
+    }
+
+    /// Enables the L2 next-line prefetcher with the given degree.
+    #[must_use]
+    pub fn with_prefetch(mut self, degree: u8) -> Self {
+        self.prefetch_degree = degree;
+        self
+    }
+
+    /// Enables write-invalidate snooping coherence.
+    #[must_use]
+    pub fn with_coherence(mut self) -> Self {
+        self.coherence = true;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::skylake_desktop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_parameters() {
+        let cfg = CpuConfig::skylake_desktop();
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.frequency, Hertz::from_gigas(5.0));
+        assert_eq!(cfg.l1i.capacity, Capacity::from_kibibytes(32));
+        assert_eq!(cfg.l1d.capacity, Capacity::from_kibibytes(32));
+        assert_eq!(cfg.l2.capacity, Capacity::from_kibibytes(512));
+        assert_eq!(cfg.llc.capacity, Capacity::from_mebibytes(16));
+        assert_eq!(cfg.llc.ways, 16);
+    }
+}

@@ -1,0 +1,447 @@
+//! The full multi-core cache hierarchy.
+
+use crate::access::{AccessKind, MemoryAccess};
+use crate::cache::{AccessOutcome, SetAssociativeCache};
+use crate::config::CpuConfig;
+use crate::stats::CacheStats;
+
+/// One core's private caches.
+#[derive(Debug, Clone)]
+struct CorePrivate {
+    l1i: SetAssociativeCache,
+    l1d: SetAssociativeCache,
+    l2: SetAssociativeCache,
+}
+
+/// The simulated hierarchy: per-core L1I/L1D/L2 plus the shared,
+/// inclusive LLC, backed by main memory.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_cachesim::{CpuConfig, Hierarchy, MemoryAccess};
+///
+/// let mut h = Hierarchy::new(CpuConfig::skylake_desktop());
+/// h.access(MemoryAccess::data_write(3, 0xdead_c0));
+/// assert_eq!(h.llc_stats().read_accesses, 1); // write-allocate fill
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    config: CpuConfig,
+    cores: Vec<CorePrivate>,
+    llc: SetAssociativeCache,
+    memory_reads: u64,
+    memory_writes: u64,
+    prefetches_issued: u64,
+    snoop_invalidations: u64,
+    dirty_forwards: u64,
+}
+
+impl Hierarchy {
+    /// Creates an empty hierarchy for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores` is zero.
+    #[must_use]
+    pub fn new(config: CpuConfig) -> Self {
+        assert!(config.cores > 0, "at least one core required");
+        let cores = (0..config.cores)
+            .map(|_| CorePrivate {
+                l1i: SetAssociativeCache::new(config.l1i),
+                l1d: SetAssociativeCache::new(config.l1d),
+                l2: SetAssociativeCache::new(config.l2),
+            })
+            .collect();
+        Self {
+            config,
+            cores,
+            llc: SetAssociativeCache::new(config.llc),
+            memory_reads: 0,
+            memory_writes: 0,
+            prefetches_issued: 0,
+            snoop_invalidations: 0,
+            dirty_forwards: 0,
+        }
+    }
+
+    /// The CPU configuration.
+    #[must_use]
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Routes one access through the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access names a core outside the configuration.
+    pub fn access(&mut self, access: MemoryAccess) {
+        let core_idx = usize::from(access.core);
+        assert!(
+            core_idx < self.cores.len(),
+            "core {} out of range",
+            access.core
+        );
+        let is_write = access.kind.is_write();
+
+        if self.config.coherence && matches!(access.kind, AccessKind::DataWrite) {
+            self.snoop_for_write(core_idx, access.address);
+        }
+
+        // L1 lookup.
+        let l1_outcome = {
+            let core = &mut self.cores[core_idx];
+            let l1 = match access.kind {
+                AccessKind::InstructionFetch => &mut core.l1i,
+                AccessKind::DataRead | AccessKind::DataWrite => &mut core.l1d,
+            };
+            l1.access(access.address, is_write)
+        };
+        let AccessOutcome::Miss { writeback: l1_wb } = l1_outcome else {
+            return;
+        };
+        if self.config.coherence && matches!(access.kind, AccessKind::DataRead) {
+            self.snoop_for_read(core_idx, access.address);
+        }
+        if let Some(victim) = l1_wb {
+            // Dirty L1 victim lands in the L2.
+            self.l2_access(core_idx, victim, true);
+        }
+        // The L1 fill itself: a read of the L2 (even for stores — the
+        // line is fetched, then dirtied in L1).
+        self.l2_access(core_idx, access.address, false);
+    }
+
+    /// Write-invalidate snoop: remote copies of the line are invalidated
+    /// before the local write; a dirty remote copy is written back to
+    /// the shared LLC first.
+    fn snoop_for_write(&mut self, writer: usize, address: u64) {
+        let mut dirty_remote = false;
+        for (idx, core) in self.cores.iter_mut().enumerate() {
+            if idx == writer {
+                continue;
+            }
+            for cache in [&mut core.l1d, &mut core.l2] {
+                if let Some(was_dirty) = cache.invalidate(address) {
+                    self.snoop_invalidations += 1;
+                    dirty_remote |= was_dirty;
+                }
+            }
+        }
+        if dirty_remote {
+            self.dirty_forwards += 1;
+            self.llc_access(address, true);
+        }
+    }
+
+    /// Read snoop: a dirty remote copy is forwarded through the LLC and
+    /// downgraded to clean.
+    fn snoop_for_read(&mut self, reader: usize, address: u64) {
+        let mut forwarded = false;
+        for (idx, core) in self.cores.iter_mut().enumerate() {
+            if idx == reader {
+                continue;
+            }
+            for cache in [&mut core.l1d, &mut core.l2] {
+                if cache.probe(address) == Some(true) {
+                    cache.clean(address);
+                    forwarded = true;
+                }
+            }
+        }
+        if forwarded {
+            self.dirty_forwards += 1;
+            self.llc_access(address, true);
+        }
+    }
+
+    fn l2_access(&mut self, core_idx: usize, address: u64, is_write: bool) {
+        let outcome = self.cores[core_idx].l2.access(address, is_write);
+        let AccessOutcome::Miss { writeback } = outcome else {
+            return;
+        };
+        if let Some(victim) = writeback {
+            self.llc_access(victim, true);
+        }
+        self.llc_access(address, false);
+        // A demand read miss trains the next-line prefetcher.
+        if !is_write && self.config.prefetch_degree > 0 {
+            let line = u64::from(self.config.l2.line_bytes);
+            for k in 1..=u64::from(self.config.prefetch_degree) {
+                let target = address.wrapping_add(k * line);
+                if self.cores[core_idx].l2.probe(target).is_none() {
+                    self.prefetches_issued += 1;
+                    let outcome = self.cores[core_idx].l2.access(target, false);
+                    if let AccessOutcome::Miss { writeback } = outcome {
+                        if let Some(victim) = writeback {
+                            self.llc_access(victim, true);
+                        }
+                        self.llc_access(target, false);
+                    }
+                }
+            }
+        }
+    }
+
+    fn llc_access(&mut self, address: u64, is_write: bool) {
+        let outcome = self.llc.access(address, is_write);
+        let AccessOutcome::Miss { writeback } = outcome else {
+            return;
+        };
+        if let Some(victim) = writeback {
+            self.memory_writes += 1;
+            self.back_invalidate(victim);
+        } else if is_write {
+            // A write-back that missed the (inclusive) LLC still
+            // allocated; the data came from the L2, not memory.
+        } else {
+            self.memory_reads += 1;
+        }
+    }
+
+    /// Maintains inclusion: when the LLC evicts a line, private copies
+    /// are invalidated (dirty private copies are folded into the memory
+    /// write already counted).
+    fn back_invalidate(&mut self, address: u64) {
+        for core in &mut self.cores {
+            core.l1i.invalidate(address);
+            core.l1d.invalidate(address);
+            core.l2.invalidate(address);
+        }
+    }
+
+    /// Statistics of the shared LLC.
+    #[must_use]
+    pub fn llc_stats(&self) -> &CacheStats {
+        self.llc.stats()
+    }
+
+    /// Clears every statistics counter while keeping cache contents, so
+    /// that measurement excludes cold-start warm-up.
+    pub fn reset_stats(&mut self) {
+        for core in &mut self.cores {
+            core.l1i.reset_stats();
+            core.l1d.reset_stats();
+            core.l2.reset_stats();
+        }
+        self.llc.reset_stats();
+        self.memory_reads = 0;
+        self.memory_writes = 0;
+        self.prefetches_issued = 0;
+        self.snoop_invalidations = 0;
+        self.dirty_forwards = 0;
+    }
+
+    /// Statistics of one core's private L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l2_stats(&self, core: u8) -> &CacheStats {
+        self.cores[usize::from(core)].l2.stats()
+    }
+
+    /// Statistics of one core's L1 data cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn l1d_stats(&self, core: u8) -> &CacheStats {
+        self.cores[usize::from(core)].l1d.stats()
+    }
+
+    /// Main-memory reads (LLC read misses).
+    #[must_use]
+    pub fn memory_reads(&self) -> u64 {
+        self.memory_reads
+    }
+
+    /// Main-memory writes (LLC dirty evictions).
+    #[must_use]
+    pub fn memory_writes(&self) -> u64 {
+        self.memory_writes
+    }
+
+    /// Prefetches issued by the L2 next-line prefetcher.
+    #[must_use]
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetches_issued
+    }
+
+    /// Remote copies invalidated by write snoops.
+    #[must_use]
+    pub fn snoop_invalidations(&self) -> u64 {
+        self.snoop_invalidations
+    }
+
+    /// Dirty lines forwarded between cores through the LLC.
+    #[must_use]
+    pub fn dirty_forwards(&self) -> u64 {
+        self.dirty_forwards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::new(CpuConfig::skylake_desktop())
+    }
+
+    #[test]
+    fn l1_hit_never_reaches_llc() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::data_read(0, 0x1000));
+        let llc_after_first = h.llc_stats().accesses();
+        h.access(MemoryAccess::data_read(0, 0x1000));
+        assert_eq!(h.llc_stats().accesses(), llc_after_first);
+    }
+
+    #[test]
+    fn cold_miss_walks_to_memory() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::data_read(0, 0x1000));
+        assert_eq!(h.llc_stats().read_accesses, 1);
+        assert_eq!(h.memory_reads(), 1);
+        assert_eq!(h.memory_writes(), 0);
+    }
+
+    #[test]
+    fn working_set_within_l2_stops_generating_llc_traffic() {
+        let mut h = hierarchy();
+        // 256 KiB working set fits in the 512 KiB L2.
+        let lines = 256 * 1024 / 64;
+        for round in 0..3 {
+            for i in 0..lines {
+                h.access(MemoryAccess::data_read(0, i * 64));
+            }
+            if round == 0 {
+                assert_eq!(h.llc_stats().read_accesses, lines);
+            }
+        }
+        // After the first sweep, everything hits in L1/L2.
+        assert_eq!(h.llc_stats().read_accesses, lines);
+    }
+
+    #[test]
+    fn writes_eventually_produce_llc_writebacks() {
+        let mut h = hierarchy();
+        // Stream 4 MiB of stores through a 512 KiB L2: dirty evictions
+        // must land in the LLC as writes.
+        let lines = 4 * 1024 * 1024 / 64;
+        for i in 0..lines {
+            h.access(MemoryAccess::data_write(0, i * 64));
+        }
+        assert!(h.llc_stats().write_accesses > 0);
+        assert!(h.llc_stats().read_accesses >= lines);
+    }
+
+    #[test]
+    fn streaming_past_llc_reaches_memory_and_back_invalidates() {
+        let mut h = hierarchy();
+        // 64 MiB stream overflows the 16 MiB LLC.
+        let lines = 64 * 1024 * 1024 / 64;
+        for i in 0..lines {
+            h.access(MemoryAccess::data_write(0, i * 64));
+        }
+        assert!(h.memory_writes() > 0, "dirty LLC victims must reach memory");
+    }
+
+    #[test]
+    fn cores_have_private_l1_l2() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::data_read(0, 0x1000));
+        // Same line from another core misses its own privates but hits
+        // the shared LLC.
+        h.access(MemoryAccess::data_read(1, 0x1000));
+        assert_eq!(h.llc_stats().read_accesses, 2);
+        assert_eq!(h.llc_stats().hits, 1);
+        assert_eq!(h.memory_reads(), 1);
+    }
+
+    #[test]
+    fn instruction_fetches_use_l1i() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::fetch(0, 0x4000));
+        h.access(MemoryAccess::fetch(0, 0x4000));
+        assert_eq!(h.l1d_stats(0).accesses(), 0);
+        assert_eq!(h.llc_stats().read_accesses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::data_read(200, 0));
+    }
+
+    #[test]
+    fn write_snoop_invalidates_remote_copies() {
+        let mut h = Hierarchy::new(CpuConfig::skylake_desktop().with_coherence());
+        h.access(MemoryAccess::data_read(0, 0x1000));
+        h.access(MemoryAccess::data_write(1, 0x1000));
+        assert!(h.snoop_invalidations() > 0);
+        // Core 0 must re-fetch the line now.
+        let before = h.llc_stats().accesses();
+        h.access(MemoryAccess::data_read(0, 0x1000));
+        assert!(h.llc_stats().accesses() > before);
+    }
+
+    #[test]
+    fn read_snoop_forwards_dirty_remote_data() {
+        let mut h = Hierarchy::new(CpuConfig::skylake_desktop().with_coherence());
+        h.access(MemoryAccess::data_write(0, 0x2000));
+        h.access(MemoryAccess::data_read(1, 0x2000));
+        assert_eq!(h.dirty_forwards(), 1);
+        // The forward writes the data through the shared LLC.
+        assert!(h.llc_stats().write_accesses >= 1);
+    }
+
+    #[test]
+    fn coherence_off_means_no_snoops() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::data_read(0, 0x1000));
+        h.access(MemoryAccess::data_write(1, 0x1000));
+        assert_eq!(h.snoop_invalidations(), 0);
+        assert_eq!(h.dirty_forwards(), 0);
+    }
+
+    #[test]
+    fn prefetcher_pulls_next_lines_into_l2() {
+        let mut with = Hierarchy::new(CpuConfig::skylake_desktop().with_prefetch(2));
+        let mut without = hierarchy();
+        // One demand miss at line 0 prefetches lines 1 and 2.
+        with.access(MemoryAccess::data_read(0, 0));
+        without.access(MemoryAccess::data_read(0, 0));
+        assert_eq!(with.prefetches_issued(), 2);
+        assert!(with.llc_stats().read_accesses > without.llc_stats().read_accesses);
+        // The prefetched line now hits in L2: no new LLC access.
+        let llc_before = with.llc_stats().accesses();
+        with.access(MemoryAccess::data_read(0, 64));
+        // (the hit on line 1 itself prefetches further lines, so allow
+        // the prefetch traffic but require the demand access be a hit)
+        assert!(with.l2_stats(0).hits >= 1 || with.llc_stats().accesses() >= llc_before);
+        let l1_miss_fill_hit = with.l2_stats(0).hits;
+        assert!(l1_miss_fill_hit >= 1, "prefetched line must hit in L2");
+    }
+
+    #[test]
+    fn prefetching_reduces_demand_misses_on_streams() {
+        let mut with = Hierarchy::new(CpuConfig::skylake_desktop().with_prefetch(4));
+        let mut without = hierarchy();
+        for i in 0..1000u64 {
+            with.access(MemoryAccess::data_read(0, i * 64));
+            without.access(MemoryAccess::data_read(0, i * 64));
+        }
+        let hit_rate_with = with.l2_stats(0).hit_rate();
+        let hit_rate_without = without.l2_stats(0).hit_rate();
+        assert!(
+            hit_rate_with > hit_rate_without,
+            "prefetching must raise the L2 hit rate on a stream: {hit_rate_with} vs {hit_rate_without}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Replacement policies for set-associative caches.
+
+/// A per-set replacement policy: tracks use recency and nominates
+/// victims.
+///
+/// The simulator ships true-LRU (the study default), FIFO (insertion
+/// order), and SRRIP (static re-reference interval prediction, a
+/// scan-resistant policy common in real LLCs) for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way.
+    #[default]
+    Lru,
+    /// Evict the oldest-inserted way, ignoring hits.
+    Fifo,
+    /// Static re-reference interval prediction with 2-bit counters:
+    /// lines are inserted "long", promoted to "immediate" on a hit, and
+    /// the victim is the first line predicted "distant".
+    Srrip,
+}
+
+impl ReplacementPolicy {
+    /// Whether a hit refreshes the way's recency stamp (LRU-family
+    /// behaviour).
+    #[must_use]
+    pub(crate) fn touch_on_hit(self) -> bool {
+        match self {
+            Self::Lru => true,
+            Self::Fifo | Self::Srrip => false,
+        }
+    }
+
+    /// Maximum re-reference prediction value for SRRIP (2-bit counters).
+    pub(crate) const RRPV_MAX: u8 = 3;
+
+    /// Insertion prediction for SRRIP ("long" re-reference interval).
+    pub(crate) const RRPV_INSERT: u8 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_touch_behaviour() {
+        assert!(ReplacementPolicy::Lru.touch_on_hit());
+        assert!(!ReplacementPolicy::Fifo.touch_on_hit());
+        assert!(!ReplacementPolicy::Srrip.touch_on_hit());
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // guards against miscalibration edits
+    fn srrip_constants_are_two_bit() {
+        assert!(ReplacementPolicy::RRPV_INSERT < ReplacementPolicy::RRPV_MAX);
+        assert_eq!(ReplacementPolicy::RRPV_MAX, 3);
+    }
+}

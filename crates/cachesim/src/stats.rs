@@ -1,0 +1,76 @@
+//! Access counters per cache level.
+
+/// Counters accumulated by one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read (load/fetch) accesses presented to this cache.
+    pub read_accesses: u64,
+    /// Write (store/write-back) accesses presented to this cache.
+    pub write_accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Dirty evictions written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    pub(crate) fn record_access(&mut self, is_write: bool) {
+        if is_write {
+            self.write_accesses += 1;
+        } else {
+            self.read_accesses += 1;
+        }
+    }
+
+    pub(crate) fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    pub(crate) fn record_writeback(&mut self) {
+        self.writebacks += 1;
+    }
+
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.read_accesses + self.write_accesses
+    }
+
+    /// Misses (accesses minus hits).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits
+    }
+
+    /// Hit rate in `[0, 1]`; zero for an untouched cache.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counters() {
+        let mut s = CacheStats::default();
+        s.record_access(false);
+        s.record_access(true);
+        s.record_access(false);
+        s.record_hit();
+        assert_eq!(s.accesses(), 3);
+        assert_eq!(s.misses(), 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! LLC traffic extraction: the quantity the DSE consumes.
+
+use coldtall_units::Seconds;
+
+use crate::hierarchy::Hierarchy;
+
+/// LLC traffic under continuous execution: read and write accesses per
+/// second, the x-axes of the paper's Fig. 5 and Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlcTraffic {
+    /// LLC read accesses per second.
+    pub reads_per_sec: f64,
+    /// LLC write accesses per second.
+    pub writes_per_sec: f64,
+}
+
+impl LlcTraffic {
+    /// Builds a traffic record directly from rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or not finite.
+    #[must_use]
+    pub fn new(reads_per_sec: f64, writes_per_sec: f64) -> Self {
+        assert!(
+            reads_per_sec.is_finite() && reads_per_sec >= 0.0,
+            "read rate must be finite and non-negative"
+        );
+        assert!(
+            writes_per_sec.is_finite() && writes_per_sec >= 0.0,
+            "write rate must be finite and non-negative"
+        );
+        Self {
+            reads_per_sec,
+            writes_per_sec,
+        }
+    }
+
+    /// Extracts traffic from a simulated hierarchy, extrapolating the
+    /// counted LLC accesses over the simulated execution time — the same
+    /// continuous-operation extrapolation the paper applies to its
+    /// Sniper runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `execution_time` is not strictly positive.
+    #[must_use]
+    pub fn from_simulation(hierarchy: &Hierarchy, execution_time: Seconds) -> Self {
+        assert!(
+            execution_time.get() > 0.0,
+            "execution time must be positive"
+        );
+        let stats = hierarchy.llc_stats();
+        Self::new(
+            stats.read_accesses as f64 / execution_time.get(),
+            stats.write_accesses as f64 / execution_time.get(),
+        )
+    }
+
+    /// Total accesses per second.
+    #[must_use]
+    pub fn total_per_sec(&self) -> f64 {
+        self.reads_per_sec + self.writes_per_sec
+    }
+
+    /// Write share of the traffic, in `[0, 1]`; zero for no traffic.
+    #[must_use]
+    pub fn write_fraction(&self) -> f64 {
+        let total = self.total_per_sec();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.writes_per_sec / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::MemoryAccess;
+    use crate::config::CpuConfig;
+
+    #[test]
+    fn from_simulation_extrapolates_rates() {
+        let mut h = Hierarchy::new(CpuConfig::skylake_desktop());
+        for i in 0..1000u64 {
+            h.access(MemoryAccess::data_read(0, i * 64 * 128));
+        }
+        let t = LlcTraffic::from_simulation(&h, Seconds::new(1e-3));
+        assert!((t.reads_per_sec - 1e6).abs() < 1e-6 * 1e6);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let t = LlcTraffic::new(3e6, 1e6);
+        assert_eq!(t.total_per_sec(), 4e6);
+        assert!((t.write_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(LlcTraffic::new(0.0, 0.0).write_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_rate_rejected() {
+        let _ = LlcTraffic::new(-1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_time_rejected() {
+        let h = Hierarchy::new(CpuConfig::skylake_desktop());
+        let _ = LlcTraffic::from_simulation(&h, Seconds::ZERO);
+    }
+}

@@ -1,0 +1,41 @@
+//! Memory-cell models and the published-cell survey database.
+//!
+//! This crate plays the role of NVMExplorer's cell-technology database:
+//! it describes every storage-cell technology evaluated by the paper
+//! (6T SRAM, 3T gain-cell eDRAM, 1T1C eDRAM, PCM, STT-RAM, RRAM, and
+//! SOT-RAM as an extension) at the level the array-characterization
+//! engine consumes — footprint, leakage paths, sensing and write
+//! characteristics, storage-node retention, and endurance.
+//!
+//! For the eNVM technologies, the crate ships a survey of published cell
+//! demonstrations (synthetic stand-ins for the ISSCC/IEDM/VLSI 2016-2020
+//! entries the original NVMExplorer database aggregates; see `DESIGN.md`
+//! section 3) and implements the paper's **tentpole** methodology: for
+//! each technology the extrema of the surveyed cell properties form an
+//! optimistic and a pessimistic bounding cell.
+//!
+//! # Examples
+//!
+//! ```
+//! use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+//! use coldtall_tech::ProcessNode;
+//!
+//! let node = ProcessNode::ptm_22nm_hp();
+//! let sram = CellModel::sram(&node);
+//! let pcm = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &node);
+//! assert!(pcm.area_f2() < sram.area_f2());
+//! assert!(pcm.is_nonvolatile());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod model;
+mod survey;
+mod technology;
+mod tentpole;
+
+pub use model::{CellModel, ReadMechanism, StorageNode};
+pub use survey::{survey_entries, SurveyEntry, Venue};
+pub use technology::MemoryTechnology;
+pub use tentpole::Tentpole;

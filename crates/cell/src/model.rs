@@ -1,0 +1,511 @@
+//! The cell model consumed by the array-characterization engine.
+
+use coldtall_tech::{Mosfet, OperatingPoint, ProcessNode};
+use coldtall_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
+
+use crate::survey::SurveyEntry;
+use crate::technology::MemoryTechnology;
+use crate::tentpole::Tentpole;
+
+/// How a cell's state is read out onto the bitline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadMechanism {
+    /// The cell develops a small differential voltage on precharged
+    /// bitlines (SRAM, gain-cell eDRAM).
+    VoltageSense {
+        /// Bitline swing that must develop before the sense amplifier
+        /// fires.
+        swing: Volts,
+    },
+    /// A read current through the resistive storage element is compared
+    /// against a reference (PCM, STT-RAM, RRAM, SOT-RAM).
+    CurrentSense,
+}
+
+/// A decaying storage node (eDRAM cells).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageNode {
+    /// Storage capacitance.
+    pub capacitance: Farads,
+    /// Voltage margin that may decay before data is lost.
+    pub margin: Volts,
+}
+
+/// Suppression factor of gate tunneling into an eDRAM storage node
+/// relative to a standard logic gate (thicker-oxide boosted devices).
+/// Calibrated so 77 K retention improves by more than the paper's
+/// 10,000x anchor over 300 K.
+const STORAGE_GATE_SUPPRESSION: f64 = 0.003;
+
+/// Threshold boost applied to memory-cell transistors relative to logic
+/// devices (high-Vth cell implant), calibrated to a ~0.5 W 16 MiB SRAM
+/// cell-leakage budget at 350 K.
+const CELL_VTH_BOOST: f64 = 0.19;
+
+/// A storage-cell model: everything the array engine needs to know about
+/// one bit of a given technology.
+///
+/// Construct with [`CellModel::sram`], [`CellModel::edram_3t`],
+/// [`CellModel::edram_1t1c`], [`CellModel::from_survey`], or
+/// [`CellModel::tentpole`].
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+/// use coldtall_tech::{OperatingPoint, ProcessNode};
+/// use coldtall_units::Kelvin;
+///
+/// let node = ProcessNode::ptm_22nm_hp();
+/// let sram = CellModel::sram(&node);
+/// let op = OperatingPoint::nominal(&node, Kelvin::REFERENCE);
+/// assert!(sram.leakage_power(&node, &op).get() > 0.0);
+///
+/// let stt = CellModel::tentpole(MemoryTechnology::SttRam, Tentpole::Optimistic, &node);
+/// assert_eq!(stt.leakage_power(&node, &op).get(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellModel {
+    technology: MemoryTechnology,
+    tentpole: Option<Tentpole>,
+    area_f2: f64,
+    // Total transistor widths (meters) participating in each leakage path.
+    nmos_sub_width: f64,
+    pmos_sub_width: f64,
+    nmos_gate_width: f64,
+    pmos_gate_width: f64,
+    /// Width of the suppressed storage-node tunneling path (already
+    /// scaled by [`STORAGE_GATE_SUPPRESSION`]).
+    storage_gate_width: f64,
+    vth_boost: Volts,
+    read_mechanism: ReadMechanism,
+    read_intrinsic: Seconds,
+    read_energy_cell: Joules,
+    write_pulse: Seconds,
+    write_energy_cell: Joules,
+    storage: Option<StorageNode>,
+    endurance_writes: f64,
+    nonvolatile: bool,
+    mlc_bits: u8,
+}
+
+impl CellModel {
+    /// The six-transistor SRAM cell (146 F^2, high-Vth cell devices).
+    #[must_use]
+    pub fn sram(node: &ProcessNode) -> Self {
+        let w_min = node.min_width().get();
+        Self {
+            technology: MemoryTechnology::Sram,
+            tentpole: None,
+            area_f2: 146.0,
+            // Two NMOS-dominated subthreshold paths per cell.
+            nmos_sub_width: 2.0 * w_min,
+            pmos_sub_width: 0.0,
+            // Four NMOS and two PMOS gates tunnel.
+            nmos_gate_width: 4.0 * w_min,
+            pmos_gate_width: 2.0 * w_min,
+            storage_gate_width: 0.0,
+            vth_boost: Volts::new(CELL_VTH_BOOST),
+            read_mechanism: ReadMechanism::VoltageSense {
+                swing: Volts::new(0.1),
+            },
+            read_intrinsic: Seconds::from_picos(100.0),
+            read_energy_cell: Joules::ZERO,
+            write_pulse: Seconds::from_picos(150.0),
+            write_energy_cell: Joules::ZERO,
+            storage: None,
+            endurance_writes: 1.0e16,
+            nonvolatile: false,
+            mlc_bits: 1,
+        }
+    }
+
+    /// The PMOS-only three-transistor gain-cell eDRAM (70 F^2), twice as
+    /// dense as SRAM and far lower-leakage, but requiring refresh.
+    #[must_use]
+    pub fn edram_3t(node: &ProcessNode) -> Self {
+        let w_min = node.min_width().get();
+        Self {
+            technology: MemoryTechnology::Edram3T,
+            tentpole: None,
+            area_f2: 70.0,
+            nmos_sub_width: 0.0,
+            // One PMOS write-transistor subthreshold path.
+            pmos_sub_width: w_min,
+            nmos_gate_width: 0.0,
+            // Two standard PMOS gates; the storage-node path is
+            // tunneling-suppressed.
+            pmos_gate_width: 2.0 * w_min,
+            storage_gate_width: STORAGE_GATE_SUPPRESSION * w_min,
+            vth_boost: Volts::new(CELL_VTH_BOOST),
+            read_mechanism: ReadMechanism::VoltageSense {
+                swing: Volts::new(0.1),
+            },
+            read_intrinsic: Seconds::from_picos(120.0),
+            read_energy_cell: Joules::ZERO,
+            write_pulse: Seconds::from_picos(200.0),
+            write_energy_cell: Joules::ZERO,
+            storage: Some(StorageNode {
+                capacitance: Farads::new(0.4e-15),
+                margin: Volts::new(0.2),
+            }),
+            endurance_writes: 1.0e16,
+            nonvolatile: false,
+            mlc_bits: 1,
+        }
+    }
+
+    /// The one-transistor one-capacitor eDRAM (30 F^2, deep-trench
+    /// capacitor). Modelled for completeness; the paper excludes it from
+    /// the headline study because it is slower and more dynamic-energy
+    /// hungry than SRAM and 3T-eDRAM.
+    #[must_use]
+    pub fn edram_1t1c(node: &ProcessNode) -> Self {
+        let w_min = node.min_width().get();
+        Self {
+            technology: MemoryTechnology::Edram1T1C,
+            tentpole: None,
+            area_f2: 30.0,
+            nmos_sub_width: w_min,
+            pmos_sub_width: 0.0,
+            nmos_gate_width: w_min,
+            pmos_gate_width: 0.0,
+            storage_gate_width: 0.0,
+            vth_boost: Volts::new(CELL_VTH_BOOST),
+            read_mechanism: ReadMechanism::VoltageSense {
+                swing: Volts::new(0.06),
+            },
+            read_intrinsic: Seconds::from_picos(500.0),
+            // Destructive read: the row must be written back.
+            read_energy_cell: Joules::from_femtos(15.0),
+            write_pulse: Seconds::from_picos(600.0),
+            write_energy_cell: Joules::from_femtos(10.0),
+            storage: Some(StorageNode {
+                capacitance: Farads::new(10.0e-15),
+                margin: Volts::new(0.15),
+            }),
+            endurance_writes: 1.0e16,
+            nonvolatile: false,
+            mlc_bits: 1,
+        }
+    }
+
+    /// Builds a cell model from one surveyed eNVM demonstration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry belongs to a technology without a resistive
+    /// storage element (SRAM/eDRAM entries never appear in the survey).
+    #[must_use]
+    pub fn from_survey(entry: &SurveyEntry, _node: &ProcessNode) -> Self {
+        assert!(
+            entry.technology.is_nonvolatile(),
+            "survey entries must be eNVM technologies"
+        );
+        Self {
+            technology: entry.technology,
+            tentpole: None,
+            area_f2: entry.cell_area_f2,
+            // NVSim-style assumption: eNVM cells do not leak; the access
+            // device sits in series with a high-resistance element.
+            nmos_sub_width: 0.0,
+            pmos_sub_width: 0.0,
+            nmos_gate_width: 0.0,
+            pmos_gate_width: 0.0,
+            storage_gate_width: 0.0,
+            vth_boost: Volts::ZERO,
+            read_mechanism: ReadMechanism::CurrentSense,
+            read_intrinsic: Seconds::from_nanos(entry.read_sense_ns),
+            read_energy_cell: Joules::from_picos(entry.read_energy_pj),
+            write_pulse: Seconds::from_nanos(entry.write_latency_ns),
+            write_energy_cell: Joules::from_picos(entry.write_energy_pj),
+            storage: None,
+            endurance_writes: entry.endurance_writes,
+            nonvolatile: true,
+            mlc_bits: entry.mlc_bits,
+        }
+    }
+
+    /// Builds the requested technology's cell model: the analytical model
+    /// for SRAM/eDRAM, or the tentpole bounding cell for eNVMs.
+    #[must_use]
+    pub fn tentpole(
+        technology: MemoryTechnology,
+        tentpole: Tentpole,
+        node: &ProcessNode,
+    ) -> Self {
+        match technology {
+            MemoryTechnology::Sram => Self::sram(node),
+            MemoryTechnology::Edram3T => Self::edram_3t(node),
+            MemoryTechnology::Edram1T1C => Self::edram_1t1c(node),
+            _ => {
+                let entry = tentpole
+                    .bounding_entry(technology)
+                    .expect("eNVM technologies always have survey entries");
+                let mut cell = Self::from_survey(&entry, node);
+                cell.tentpole = Some(tentpole);
+                cell
+            }
+        }
+    }
+
+    /// The cell's technology.
+    #[must_use]
+    pub fn technology(&self) -> MemoryTechnology {
+        self.technology
+    }
+
+    /// The tentpole this cell was derived from, if any.
+    #[must_use]
+    pub fn tentpole_kind(&self) -> Option<Tentpole> {
+        self.tentpole
+    }
+
+    /// Cell footprint in squared feature sizes.
+    #[must_use]
+    pub fn area_f2(&self) -> f64 {
+        self.area_f2
+    }
+
+    /// Cell footprint in square meters on the given node.
+    #[must_use]
+    pub fn area_m2(&self, node: &ProcessNode) -> f64 {
+        self.area_f2 * node.feature_area_m2()
+    }
+
+    /// How the cell is read.
+    #[must_use]
+    pub fn read_mechanism(&self) -> ReadMechanism {
+        self.read_mechanism
+    }
+
+    /// Cell-intrinsic sensing latency (excludes array wires and decode).
+    #[must_use]
+    pub fn read_intrinsic(&self) -> Seconds {
+        self.read_intrinsic
+    }
+
+    /// Cell-intrinsic read energy per bit (eNVM sensing currents;
+    /// negligible for SRAM, where the bitlines dominate).
+    #[must_use]
+    pub fn read_energy_cell(&self) -> Joules {
+        self.read_energy_cell
+    }
+
+    /// Cell write-pulse latency.
+    #[must_use]
+    pub fn write_pulse(&self) -> Seconds {
+        self.write_pulse
+    }
+
+    /// Cell-intrinsic write energy per bit.
+    #[must_use]
+    pub fn write_energy_cell(&self) -> Joules {
+        self.write_energy_cell
+    }
+
+    /// The decaying storage node, for refresh-dependent technologies.
+    #[must_use]
+    pub fn storage(&self) -> Option<StorageNode> {
+        self.storage
+    }
+
+    /// Write endurance in program cycles.
+    #[must_use]
+    pub fn endurance_writes(&self) -> f64 {
+        self.endurance_writes
+    }
+
+    /// `true` if the cell retains data without power.
+    #[must_use]
+    pub fn is_nonvolatile(&self) -> bool {
+        self.nonvolatile
+    }
+
+    /// Bits per cell.
+    #[must_use]
+    pub fn mlc_bits(&self) -> u8 {
+        self.mlc_bits
+    }
+
+    /// `true` if the technology requires periodic refresh.
+    #[must_use]
+    pub fn needs_refresh(&self) -> bool {
+        self.technology.needs_refresh()
+    }
+
+    /// Total leakage current of one cell at the given operating point.
+    #[must_use]
+    pub fn leakage_current(&self, node: &ProcessNode, op: &OperatingPoint) -> Amps {
+        let to_um = 1e6;
+        let nmos = Mosfet::nmos(node).with_vth_boost(self.vth_boost);
+        let pmos = Mosfet::pmos(node).with_vth_boost(self.vth_boost);
+        let nmos_plain = Mosfet::nmos(node);
+        let pmos_plain = Mosfet::pmos(node);
+        let sub = nmos.subthreshold_current_per_um(op) * (self.nmos_sub_width * to_um)
+            + pmos.subthreshold_current_per_um(op) * (self.pmos_sub_width * to_um);
+        let gate = nmos_plain.gate_leakage_per_um(op) * (self.nmos_gate_width * to_um)
+            + pmos_plain.gate_leakage_per_um(op)
+                * ((self.pmos_gate_width + self.storage_gate_width) * to_um);
+        sub + gate
+    }
+
+    /// Leakage power of one cell at the given operating point.
+    #[must_use]
+    pub fn leakage_power(&self, node: &ProcessNode, op: &OperatingPoint) -> Watts {
+        self.leakage_current(node, op) * op.vdd()
+    }
+
+    /// Retention time of the storage node at the given operating point,
+    /// or `None` for technologies that do not decay.
+    ///
+    /// Retention is the time for the storage-node leakage to consume the
+    /// margin charge: `t = C dV / I_leak`.
+    #[must_use]
+    pub fn retention(&self, node: &ProcessNode, op: &OperatingPoint) -> Option<Seconds> {
+        let storage = self.storage?;
+        let to_um = 1e6;
+        let (sub_width, boosted, plain) = match self.technology {
+            MemoryTechnology::Edram3T => (
+                self.pmos_sub_width,
+                Mosfet::pmos(node).with_vth_boost(self.vth_boost),
+                Mosfet::pmos(node),
+            ),
+            _ => (
+                self.nmos_sub_width,
+                Mosfet::nmos(node).with_vth_boost(self.vth_boost),
+                Mosfet::nmos(node),
+            ),
+        };
+        let i_leak = boosted.subthreshold_current_per_um(op) * (sub_width * to_um)
+            + plain.gate_leakage_per_um(op) * (self.storage_gate_width.max(1e-12) * to_um);
+        let q = storage.capacitance * storage.margin;
+        Some(Seconds::new(q.get() / i_leak.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_units::Kelvin;
+
+    fn node() -> ProcessNode {
+        ProcessNode::ptm_22nm_hp()
+    }
+
+    fn op(t: f64) -> OperatingPoint {
+        OperatingPoint::nominal(&node(), Kelvin::new(t))
+    }
+
+    fn cryo() -> OperatingPoint {
+        OperatingPoint::cryo_optimized(&node(), Kelvin::LN2)
+    }
+
+    #[test]
+    fn sram_16mib_cell_leakage_is_about_half_a_watt_at_350k() {
+        let n = node();
+        let sram = CellModel::sram(&n);
+        let cells = 16.0 * 1024.0 * 1024.0 * 8.0;
+        let p = sram.leakage_power(&n, &op(350.0)).get() * cells;
+        assert!(p > 0.2 && p < 1.0, "16 MiB SRAM cell leakage = {p} W");
+    }
+
+    #[test]
+    fn sram_leakage_collapses_by_1e6_at_cryo() {
+        let n = node();
+        let sram = CellModel::sram(&n);
+        let ratio =
+            sram.leakage_power(&n, &cryo()).get() / sram.leakage_power(&n, &op(350.0)).get();
+        assert!(ratio > 1e-7 && ratio < 1e-5, "ratio = {ratio:e}");
+    }
+
+    #[test]
+    fn edram_leakage_advantage_grows_from_10x_to_about_100x() {
+        let n = node();
+        let sram = CellModel::sram(&n);
+        let edram = CellModel::edram_3t(&n);
+        let ratio_at = |o: &OperatingPoint| {
+            sram.leakage_power(&n, o).get() / edram.leakage_power(&n, o).get()
+        };
+        let at_cryo = ratio_at(&cryo());
+        let at_350 = ratio_at(&op(350.0));
+        let at_387 = ratio_at(&op(387.0));
+        assert!(at_cryo > 5.0 && at_cryo < 25.0, "77 K ratio = {at_cryo}");
+        assert!(at_350 > 40.0 && at_350 < 160.0, "350 K ratio = {at_350}");
+        assert!(at_387 > 25.0 && at_387 < 160.0, "387 K ratio = {at_387}");
+        assert!(at_350 > 3.0 * at_cryo, "advantage must grow with temperature");
+    }
+
+    #[test]
+    fn edram_cell_is_about_twice_as_dense_as_sram() {
+        let n = node();
+        let ratio = CellModel::sram(&n).area_f2() / CellModel::edram_3t(&n).area_f2();
+        assert!(ratio > 1.8 && ratio < 2.4, "density ratio = {ratio}");
+    }
+
+    #[test]
+    fn edram_retention_at_350k_is_microseconds_and_seconds_at_77k() {
+        let n = node();
+        let edram = CellModel::edram_3t(&n);
+        let t350 = edram.retention(&n, &op(350.0)).unwrap();
+        let t300 = edram.retention(&n, &op(300.0)).unwrap();
+        let t77 = edram.retention(&n, &cryo()).unwrap();
+        assert!(t350.get() < 1e-5, "350 K retention = {t350}");
+        assert!(t300.get() > 1e-5 && t300.get() < 1e-3, "300 K retention = {t300}");
+        // The paper's anchor: cryogenic retention is prolonged more than
+        // 10,000x, effectively eliminating refresh.
+        assert!(t77 / t300 > 1.0e4, "retention gain = {}", t77 / t300);
+        assert!(t77.get() > 0.1);
+    }
+
+    #[test]
+    fn envm_cells_do_not_leak_or_decay() {
+        let n = node();
+        for tech in MemoryTechnology::ENVM_SET {
+            for tp in Tentpole::BOTH {
+                let cell = CellModel::tentpole(tech, tp, &n);
+                assert_eq!(cell.leakage_power(&n, &op(350.0)).get(), 0.0);
+                assert!(cell.retention(&n, &op(350.0)).is_none());
+                assert!(cell.is_nonvolatile());
+                assert_eq!(cell.tentpole_kind(), Some(tp));
+            }
+        }
+    }
+
+    #[test]
+    fn envm_write_costs_exceed_read_costs() {
+        let n = node();
+        for tech in MemoryTechnology::ENVM_SET {
+            for tp in Tentpole::BOTH {
+                let cell = CellModel::tentpole(tech, tp, &n);
+                assert!(cell.write_energy_cell() > cell.read_energy_cell());
+                assert!(cell.write_pulse() >= cell.read_intrinsic());
+            }
+        }
+    }
+
+    #[test]
+    fn tentpole_dispatch_for_analytical_technologies() {
+        let n = node();
+        let s = CellModel::tentpole(MemoryTechnology::Sram, Tentpole::Pessimistic, &n);
+        assert_eq!(s, CellModel::sram(&n));
+        assert_eq!(s.tentpole_kind(), None);
+    }
+
+    #[test]
+    fn area_in_m2_uses_feature_size() {
+        let n = node();
+        let sram = CellModel::sram(&n);
+        let expected = 146.0 * 22e-9 * 22e-9;
+        assert!((sram.area_m2(&n) - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn edram_1t1c_is_slow_but_dense() {
+        let n = node();
+        let c = CellModel::edram_1t1c(&n);
+        assert!(c.area_f2() < CellModel::edram_3t(&n).area_f2());
+        assert!(c.read_intrinsic() > CellModel::sram(&n).read_intrinsic());
+        assert!(c.storage().is_some());
+    }
+}

@@ -1,0 +1,134 @@
+//! The memory-technology taxonomy of the study.
+
+use core::fmt;
+
+/// A storage-cell technology evaluated by the design-space exploration.
+///
+/// The paper's main study covers [`Sram`](MemoryTechnology::Sram),
+/// [`Edram3T`](MemoryTechnology::Edram3T), [`Pcm`](MemoryTechnology::Pcm),
+/// [`SttRam`](MemoryTechnology::SttRam), and
+/// [`Rram`](MemoryTechnology::Rram). 1T1C eDRAM is modelled but excluded
+/// from the headline comparison (as in the paper), and SOT-RAM is an
+/// extension mentioned in the paper's background section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemoryTechnology {
+    /// Six-transistor static RAM.
+    Sram,
+    /// Three-transistor (PMOS-only) gain-cell embedded DRAM.
+    Edram3T,
+    /// One-transistor one-capacitor embedded DRAM.
+    Edram1T1C,
+    /// Phase-change memory.
+    Pcm,
+    /// Spin-transfer-torque magnetic RAM.
+    SttRam,
+    /// Resistive RAM (metal-oxide ReRAM).
+    Rram,
+    /// Spin-orbit-torque magnetic RAM (extension technology).
+    SotRam,
+}
+
+impl MemoryTechnology {
+    /// All technologies in the study's headline comparison, in the order
+    /// the paper discusses them.
+    pub const STUDY_SET: [Self; 5] = [
+        Self::Sram,
+        Self::Edram3T,
+        Self::Pcm,
+        Self::SttRam,
+        Self::Rram,
+    ];
+
+    /// The embedded non-volatile technologies of the main study.
+    pub const ENVM_SET: [Self; 3] = [Self::Pcm, Self::SttRam, Self::Rram];
+
+    /// Returns `true` for non-volatile technologies (data survives power
+    /// removal; no cell leakage, periphery may be power-gated).
+    #[must_use]
+    pub fn is_nonvolatile(self) -> bool {
+        matches!(self, Self::Pcm | Self::SttRam | Self::Rram | Self::SotRam)
+    }
+
+    /// Returns `true` for technologies whose storage decays and needs
+    /// periodic refresh.
+    #[must_use]
+    pub fn needs_refresh(self) -> bool {
+        matches!(self, Self::Edram3T | Self::Edram1T1C)
+    }
+
+    /// Returns `true` if writes physically wear the cell out, making
+    /// endurance a first-order design constraint.
+    #[must_use]
+    pub fn has_endurance_concern(self) -> bool {
+        matches!(self, Self::Pcm | Self::Rram)
+    }
+
+    /// Short display name as used in the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Sram => "SRAM",
+            Self::Edram3T => "3T-eDRAM",
+            Self::Edram1T1C => "1T1C-eDRAM",
+            Self::Pcm => "PCM",
+            Self::SttRam => "STT-RAM",
+            Self::Rram => "RRAM",
+            Self::SotRam => "SOT-RAM",
+        }
+    }
+}
+
+impl fmt::Display for MemoryTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volatility_classification() {
+        assert!(!MemoryTechnology::Sram.is_nonvolatile());
+        assert!(!MemoryTechnology::Edram3T.is_nonvolatile());
+        assert!(MemoryTechnology::Pcm.is_nonvolatile());
+        assert!(MemoryTechnology::SttRam.is_nonvolatile());
+        assert!(MemoryTechnology::Rram.is_nonvolatile());
+        assert!(MemoryTechnology::SotRam.is_nonvolatile());
+    }
+
+    #[test]
+    fn refresh_classification() {
+        assert!(MemoryTechnology::Edram3T.needs_refresh());
+        assert!(MemoryTechnology::Edram1T1C.needs_refresh());
+        assert!(!MemoryTechnology::Sram.needs_refresh());
+        assert!(!MemoryTechnology::Pcm.needs_refresh());
+    }
+
+    #[test]
+    fn endurance_classification_matches_paper() {
+        // The paper lists endurance as a limitation "particularly for PCM
+        // and RRAM solutions"; STT-RAM has SRAM-like endurance.
+        assert!(MemoryTechnology::Pcm.has_endurance_concern());
+        assert!(MemoryTechnology::Rram.has_endurance_concern());
+        assert!(!MemoryTechnology::SttRam.has_endurance_concern());
+        assert!(!MemoryTechnology::Sram.has_endurance_concern());
+    }
+
+    #[test]
+    fn study_set_contents() {
+        assert_eq!(MemoryTechnology::STUDY_SET.len(), 5);
+        assert_eq!(MemoryTechnology::ENVM_SET.len(), 3);
+        for t in MemoryTechnology::ENVM_SET {
+            assert!(t.is_nonvolatile());
+            assert!(MemoryTechnology::STUDY_SET.contains(&t));
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MemoryTechnology::Edram3T.to_string(), "3T-eDRAM");
+        assert_eq!(MemoryTechnology::SttRam.to_string(), "STT-RAM");
+    }
+}

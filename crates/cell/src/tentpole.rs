@@ -1,0 +1,129 @@
+//! The tentpole methodology: per-technology optimistic and pessimistic
+//! bounding cells derived from the survey extrema.
+
+use core::fmt;
+
+use crate::survey::{survey_entries, SurveyEntry};
+use crate::technology::MemoryTechnology;
+
+/// Which end of the surveyed characteristic range to take.
+///
+/// NVMExplorer's tentpole approach represents each technology by the two
+/// field-wise extrema of its published demonstrations: a hypothetical
+/// *optimistic* cell combining every best-reported characteristic, and a
+/// *pessimistic* cell combining every worst-reported one. Real designs
+/// fall between the tentpoles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tentpole {
+    /// Field-wise best-case characteristics.
+    Optimistic,
+    /// Field-wise worst-case characteristics.
+    Pessimistic,
+}
+
+impl Tentpole {
+    /// Both tentpoles, in the order the paper plots them.
+    pub const BOTH: [Self; 2] = [Self::Optimistic, Self::Pessimistic];
+
+    /// Builds the field-wise extremal survey entry for `technology`.
+    ///
+    /// Returns `None` for technologies without survey entries (SRAM and
+    /// the eDRAMs, which are modelled analytically).
+    #[must_use]
+    pub fn bounding_entry(self, technology: MemoryTechnology) -> Option<SurveyEntry> {
+        let entries = survey_entries(technology);
+        let first = entries.first()?;
+        let fold = |f: fn(&SurveyEntry) -> f64, best: fn(f64, f64) -> f64| {
+            entries.iter().map(f).fold(f(first), best)
+        };
+        type Fold = fn(f64, f64) -> f64;
+        let (lo, hi): (Fold, Fold) = (f64::min, f64::max);
+        let (best, worst) = match self {
+            Self::Optimistic => (lo, hi),
+            Self::Pessimistic => (hi, lo),
+        };
+        Some(SurveyEntry {
+            id: match self {
+                Self::Optimistic => "tentpole-optimistic",
+                Self::Pessimistic => "tentpole-pessimistic",
+            },
+            year: entries.iter().map(|e| e.year).max().unwrap_or(first.year),
+            venue: first.venue,
+            technology,
+            cell_area_f2: fold(|e| e.cell_area_f2, best),
+            read_sense_ns: fold(|e| e.read_sense_ns, best),
+            read_energy_pj: fold(|e| e.read_energy_pj, best),
+            write_latency_ns: fold(|e| e.write_latency_ns, best),
+            write_energy_pj: fold(|e| e.write_energy_pj, best),
+            endurance_writes: fold(|e| e.endurance_writes, worst),
+            retention_years: fold(|e| e.retention_years, worst),
+            mlc_bits: match self {
+                Self::Optimistic => entries.iter().map(|e| e.mlc_bits).max().unwrap_or(1),
+                Self::Pessimistic => entries.iter().map(|e| e.mlc_bits).min().unwrap_or(1),
+            },
+        })
+    }
+}
+
+impl fmt::Display for Tentpole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Optimistic => "optimistic",
+            Self::Pessimistic => "pessimistic",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimistic_dominates_pessimistic() {
+        for t in MemoryTechnology::ENVM_SET {
+            let opt = Tentpole::Optimistic.bounding_entry(t).unwrap();
+            let pess = Tentpole::Pessimistic.bounding_entry(t).unwrap();
+            assert!(opt.cell_area_f2 < pess.cell_area_f2);
+            assert!(opt.read_sense_ns < pess.read_sense_ns);
+            assert!(opt.read_energy_pj < pess.read_energy_pj);
+            assert!(opt.write_latency_ns < pess.write_latency_ns);
+            assert!(opt.write_energy_pj < pess.write_energy_pj);
+            assert!(opt.endurance_writes > pess.endurance_writes);
+        }
+    }
+
+    #[test]
+    fn tentpoles_bound_every_survey_entry() {
+        for t in MemoryTechnology::ENVM_SET {
+            let opt = Tentpole::Optimistic.bounding_entry(t).unwrap();
+            let pess = Tentpole::Pessimistic.bounding_entry(t).unwrap();
+            for e in survey_entries(t) {
+                assert!(e.cell_area_f2 >= opt.cell_area_f2 && e.cell_area_f2 <= pess.cell_area_f2);
+                assert!(
+                    e.write_latency_ns >= opt.write_latency_ns
+                        && e.write_latency_ns <= pess.write_latency_ns
+                );
+                assert!(
+                    e.endurance_writes <= opt.endurance_writes
+                        && e.endurance_writes >= pess.endurance_writes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytical_technologies_have_no_tentpole_entry() {
+        assert!(Tentpole::Optimistic
+            .bounding_entry(MemoryTechnology::Sram)
+            .is_none());
+        assert!(Tentpole::Pessimistic
+            .bounding_entry(MemoryTechnology::Edram3T)
+            .is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tentpole::Optimistic.to_string(), "optimistic");
+        assert_eq!(Tentpole::Pessimistic.to_string(), "pessimistic");
+    }
+}

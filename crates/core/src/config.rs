@@ -1,0 +1,247 @@
+//! Named design points of the exploration.
+
+use core::fmt;
+
+use coldtall_array::{ArrayCharacterization, ArraySpec, Objective};
+use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+use coldtall_cryo::CoolingSystem;
+use coldtall_tech::ProcessNode;
+use coldtall_units::Kelvin;
+
+/// One point of the design space: a technology at a tentpole, a die
+/// count, an operating temperature, and (for cryogenic points) a cooling
+/// tier.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_core::MemoryConfig;
+///
+/// let cryo = MemoryConfig::edram_77k();
+/// assert_eq!(cryo.label(), "77K 3T-eDRAM");
+/// let pcm = MemoryConfig::envm_3d(coldtall_cell::MemoryTechnology::Pcm,
+///                                 coldtall_cell::Tentpole::Optimistic, 8);
+/// assert_eq!(pcm.label(), "8-die PCM (optimistic)");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryConfig {
+    technology: MemoryTechnology,
+    tentpole: Tentpole,
+    dies: u8,
+    temperature: Kelvin,
+    cooling: CoolingSystem,
+}
+
+impl MemoryConfig {
+    /// The study baseline: 2D SRAM at 350 K.
+    #[must_use]
+    pub fn sram_350k() -> Self {
+        Self::volatile_2d(MemoryTechnology::Sram, Kelvin::REFERENCE)
+    }
+
+    /// 2D SRAM at 77 K under the cryo policy.
+    #[must_use]
+    pub fn sram_77k() -> Self {
+        Self::volatile_2d(MemoryTechnology::Sram, Kelvin::LN2)
+    }
+
+    /// 2D 3T-eDRAM at 350 K.
+    #[must_use]
+    pub fn edram_350k() -> Self {
+        Self::volatile_2d(MemoryTechnology::Edram3T, Kelvin::REFERENCE)
+    }
+
+    /// 2D 3T-eDRAM at 77 K under the cryo policy.
+    #[must_use]
+    pub fn edram_77k() -> Self {
+        Self::volatile_2d(MemoryTechnology::Edram3T, Kelvin::LN2)
+    }
+
+    /// A volatile (SRAM/eDRAM) 2D configuration at temperature `t`.
+    #[must_use]
+    pub fn volatile_2d(technology: MemoryTechnology, t: Kelvin) -> Self {
+        Self {
+            technology,
+            tentpole: Tentpole::Optimistic,
+            dies: 1,
+            temperature: t,
+            cooling: CoolingSystem::default(),
+        }
+    }
+
+    /// An eNVM (or SRAM) configuration with `dies` stacked dies at 350 K.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is not 1, 2, 4, or 8.
+    #[must_use]
+    pub fn envm_3d(technology: MemoryTechnology, tentpole: Tentpole, dies: u8) -> Self {
+        assert!(
+            matches!(dies, 1 | 2 | 4 | 8),
+            "the study stacks 1, 2, 4, or 8 dies"
+        );
+        Self {
+            technology,
+            tentpole,
+            dies,
+            temperature: Kelvin::REFERENCE,
+            cooling: CoolingSystem::default(),
+        }
+    }
+
+    /// Replaces the operating temperature.
+    #[must_use]
+    pub fn at_temperature(mut self, t: Kelvin) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Replaces the cooling tier charged for cryogenic operation.
+    #[must_use]
+    pub fn with_cooling(mut self, cooling: CoolingSystem) -> Self {
+        self.cooling = cooling;
+        self
+    }
+
+    /// Technology of this design point.
+    #[must_use]
+    pub fn technology(&self) -> MemoryTechnology {
+        self.technology
+    }
+
+    /// Tentpole of this design point (meaningful for eNVMs).
+    #[must_use]
+    pub fn tentpole(&self) -> Tentpole {
+        self.tentpole
+    }
+
+    /// Die count.
+    #[must_use]
+    pub fn dies(&self) -> u8 {
+        self.dies
+    }
+
+    /// Operating temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// Cooling tier.
+    #[must_use]
+    pub fn cooling(&self) -> CoolingSystem {
+        self.cooling
+    }
+
+    /// Whether this point runs in the cryogenic regime.
+    #[must_use]
+    pub fn is_cryogenic(&self) -> bool {
+        self.temperature.is_cryogenic()
+    }
+
+    /// Human-readable label matching the paper's figure legends, e.g.
+    /// `"77K 3T-eDRAM"` or `"4-die STT-RAM (pessimistic)"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut parts = String::new();
+        if self.temperature != Kelvin::REFERENCE {
+            parts.push_str(&format!("{:.0}K ", self.temperature.get()));
+        }
+        if self.dies > 1 {
+            parts.push_str(&format!("{}-die ", self.dies));
+        }
+        parts.push_str(self.technology.name());
+        if self.technology.is_nonvolatile() {
+            parts.push_str(&format!(" ({})", self.tentpole));
+        }
+        parts
+    }
+
+    /// Lowers this design point to an array specification.
+    #[must_use]
+    pub fn to_spec(&self, node: &ProcessNode) -> ArraySpec {
+        let cell = CellModel::tentpole(self.technology, self.tentpole, node);
+        let mut spec = ArraySpec::llc_16mib(cell, node);
+        if self.dies > 1 {
+            spec = spec.with_dies(self.dies);
+        }
+        spec.at_temperature_cryo(self.temperature)
+    }
+
+    /// Characterizes this design point's array.
+    #[must_use]
+    pub fn characterize(
+        &self,
+        node: &ProcessNode,
+        objective: Objective,
+    ) -> ArrayCharacterization {
+        self.to_spec(node).characterize(objective)
+    }
+
+    /// The study's full configuration set: cryogenic and room-temperature
+    /// SRAM/3T-eDRAM, plus 2D/3D SRAM and eNVM tentpoles at 350 K.
+    #[must_use]
+    pub fn study_set() -> Vec<Self> {
+        let mut set = vec![
+            Self::sram_350k(),
+            Self::sram_77k(),
+            Self::edram_350k(),
+            Self::edram_77k(),
+        ];
+        for dies in [2, 4, 8] {
+            set.push(Self::envm_3d(MemoryTechnology::Sram, Tentpole::Optimistic, dies));
+        }
+        for tech in MemoryTechnology::ENVM_SET {
+            for tentpole in Tentpole::BOTH {
+                for dies in [1, 2, 4, 8] {
+                    set.push(Self::envm_3d(tech, tentpole, dies));
+                }
+            }
+        }
+        set
+    }
+}
+
+impl fmt::Display for MemoryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(MemoryConfig::sram_350k().label(), "SRAM");
+        assert_eq!(MemoryConfig::sram_77k().label(), "77K SRAM");
+        assert_eq!(MemoryConfig::edram_77k().label(), "77K 3T-eDRAM");
+        let stt = MemoryConfig::envm_3d(MemoryTechnology::SttRam, Tentpole::Pessimistic, 4);
+        assert_eq!(stt.label(), "4-die STT-RAM (pessimistic)");
+    }
+
+    #[test]
+    fn study_set_size_and_membership() {
+        let set = MemoryConfig::study_set();
+        // 4 volatile points + 3 stacked SRAM + 3 techs x 2 tentpoles x 4 dies.
+        assert_eq!(set.len(), 4 + 3 + 24);
+        assert!(set.iter().any(|c| c.label() == "8-die PCM (optimistic)"));
+        assert!(set.iter().any(|c| c.is_cryogenic()));
+    }
+
+    #[test]
+    fn to_spec_applies_cryo_policy() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let spec = MemoryConfig::edram_77k().to_spec(&node);
+        assert!(spec.op().vth_override().is_some());
+        let warm = MemoryConfig::edram_350k().to_spec(&node);
+        assert!(warm.op().vth_override().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "1, 2, 4, or 8")]
+    fn bad_die_count_rejected() {
+        let _ = MemoryConfig::envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, 3);
+    }
+}

@@ -1,0 +1,170 @@
+//! The application-level model: array characteristics + traffic ->
+//! total LLC power, latency, and area.
+
+use coldtall_array::ArrayCharacterization;
+use coldtall_cachesim::LlcTraffic;
+use coldtall_units::{Joules, Seconds, Watts};
+
+use crate::config::MemoryConfig;
+
+/// Refresh-busy fraction beyond which an array cannot serve its traffic
+/// at all (the paper's "cannot run ordinary workloads" regime).
+const REFRESH_INFEASIBLE: f64 = 0.999;
+
+/// One row of the exploration: a design point evaluated under one
+/// benchmark's traffic.
+///
+/// Power follows the paper's total-LLC-power model (leakage + refresh +
+/// traffic-weighted dynamic energy, multiplied by the cryocooler factor
+/// at 77 K), normalized to the 350 K SRAM baseline running the reference
+/// benchmark. Latency is the traffic-weighted access latency normalized
+/// to the 350 K SRAM baseline running the *same* benchmark — values
+/// above 1 flag a solution that would slow the CPU down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlcEvaluation {
+    /// Display label of the configuration.
+    pub config_label: String,
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// The benchmark's LLC traffic.
+    pub traffic: LlcTraffic,
+    /// Device power at the operating temperature (no cooling).
+    pub device_power: Watts,
+    /// Wall power including refrigeration for cryogenic points.
+    pub wall_power: Watts,
+    /// Wall power relative to the study reference (350 K SRAM @ namd).
+    pub relative_power: f64,
+    /// Traffic-weighted LLC latency relative to 350 K SRAM on the same
+    /// benchmark; `f64::INFINITY` when refresh cannot keep up.
+    pub relative_latency: f64,
+    /// Whether this solution would negatively impact performance
+    /// (relative latency above 1).
+    pub slowdown: bool,
+    /// 2D footprint in square millimeters.
+    pub footprint_mm2: f64,
+    /// Wear-limited lifetime in years (infinite for unlimited endurance).
+    pub lifetime_years: f64,
+    /// Fraction of the array's bank bandwidth this traffic consumes;
+    /// at or above 1 the array cannot keep up (the paper's bandwidth
+    /// feasibility check).
+    pub bandwidth_utilization: f64,
+}
+
+/// Traffic-weighted seconds of LLC service per second of execution,
+/// diluted by refresh unavailability and by bank-bandwidth queueing.
+fn service_time(array: &ArrayCharacterization, traffic: &LlcTraffic) -> f64 {
+    let raw = traffic.reads_per_sec * array.read_latency.get()
+        + traffic.writes_per_sec * array.write_latency.get();
+    if array.refresh_busy_fraction >= REFRESH_INFEASIBLE {
+        return f64::INFINITY;
+    }
+    let utilization =
+        array.bandwidth_utilization(traffic.reads_per_sec, traffic.writes_per_sec);
+    if utilization >= 1.0 {
+        return f64::INFINITY;
+    }
+    // Refresh steals availability; queueing dilates service as the
+    // offered load approaches the bank bandwidth.
+    raw / (1.0 - array.refresh_busy_fraction) / (1.0 - utilization)
+}
+
+/// Device power of `array` under `traffic`: standby plus dynamic.
+#[must_use]
+pub(crate) fn device_power(array: &ArrayCharacterization, traffic: &LlcTraffic) -> Watts {
+    let dynamic = Joules::new(
+        traffic.reads_per_sec * array.read_energy.get()
+            + traffic.writes_per_sec * array.write_energy.get(),
+    );
+    array.standby_power() + dynamic / Seconds::new(1.0)
+}
+
+impl LlcEvaluation {
+    /// Builds an evaluation row.
+    ///
+    /// `baseline` is the 350 K SRAM characterization; `reference_power`
+    /// is the baseline's wall power on the reference benchmark (namd).
+    #[must_use]
+    pub(crate) fn build(
+        config: &MemoryConfig,
+        benchmark: &'static str,
+        traffic: LlcTraffic,
+        array: &ArrayCharacterization,
+        baseline: &ArrayCharacterization,
+        reference_power: Watts,
+        lifetime_years: f64,
+    ) -> Self {
+        let device = device_power(array, &traffic);
+        let wall = config.cooling().wall_power(device, config.temperature());
+        let own_service = service_time(array, &traffic);
+        let base_service = service_time(baseline, &traffic);
+        let relative_latency = if base_service > 0.0 {
+            own_service / base_service
+        } else {
+            1.0
+        };
+        Self {
+            config_label: config.label(),
+            benchmark,
+            traffic,
+            device_power: device,
+            wall_power: wall,
+            relative_power: wall / reference_power,
+            relative_latency,
+            slowdown: relative_latency > 1.0,
+            footprint_mm2: array.footprint.as_mm2(),
+            lifetime_years,
+            bandwidth_utilization: array
+                .bandwidth_utilization(traffic.reads_per_sec, traffic.writes_per_sec),
+        }
+    }
+
+    /// Whether this row's lifetime meets the selection target.
+    #[must_use]
+    pub fn meets_lifetime_target(&self) -> bool {
+        self.lifetime_years >= crate::lifetime::LIFETIME_TARGET_YEARS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_array::{ArraySpec, Objective};
+    use coldtall_cell::CellModel;
+    use coldtall_tech::ProcessNode;
+
+    fn sram_array() -> ArrayCharacterization {
+        let node = ProcessNode::ptm_22nm_hp();
+        ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .characterize(Objective::EnergyDelayProduct)
+    }
+
+    #[test]
+    fn device_power_combines_static_and_dynamic() {
+        let array = sram_array();
+        let idle = device_power(&array, &LlcTraffic::new(0.0, 0.0));
+        assert_eq!(idle, array.standby_power());
+        let busy = device_power(&array, &LlcTraffic::new(1e8, 0.0));
+        let expected = array.standby_power().get() + 1e8 * array.read_energy.get();
+        assert!((busy.get() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_time_is_traffic_weighted_with_queueing_dilation() {
+        let array = sram_array();
+        let traffic = LlcTraffic::new(1e6, 2e6);
+        let t = service_time(&array, &traffic);
+        let raw = 1e6 * array.read_latency.get() + 2e6 * array.write_latency.get();
+        let dilation = 1.0 / (1.0 - array.bandwidth_utilization(1e6, 2e6));
+        assert!((t - raw * dilation).abs() < 1e-12);
+        assert!(t >= raw, "queueing can only dilate");
+    }
+
+    #[test]
+    fn saturated_bandwidth_is_infeasible() {
+        let array = sram_array();
+        // Offer more traffic than the banks can serve.
+        let capacity = array.read_bandwidth();
+        let t = service_time(&array, &LlcTraffic::new(capacity * 1.5, 0.0));
+        assert!(t.is_infinite());
+    }
+}

@@ -1,0 +1,219 @@
+//! The exploration driver: configurations x benchmarks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use coldtall_array::{ArrayCharacterization, Objective};
+use coldtall_tech::ProcessNode;
+use coldtall_units::Watts;
+use coldtall_workloads::{spec2017, Benchmark};
+
+use crate::config::MemoryConfig;
+use crate::evaluate::{device_power, LlcEvaluation};
+use crate::lifetime::lifetime_years;
+
+/// The reference benchmark all power results are normalized to, as in
+/// the paper (350 K SRAM running `namd`).
+pub const REFERENCE_BENCHMARK: &str = "namd";
+
+/// Drives the design-space exploration: characterizes configurations
+/// (with caching), normalizes against the 350 K SRAM / `namd` reference,
+/// and evaluates configurations under benchmark traffic.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_core::{Explorer, MemoryConfig};
+/// use coldtall_workloads::benchmark;
+///
+/// let explorer = Explorer::with_defaults();
+/// let cryo = explorer.evaluate(&MemoryConfig::edram_77k(), benchmark("povray").unwrap());
+/// assert!(cryo.relative_power < 0.01, "cryo eDRAM on povray is >100x below baseline");
+/// ```
+#[derive(Debug)]
+pub struct Explorer {
+    node: ProcessNode,
+    objective: Objective,
+    cache: RefCell<HashMap<String, ArrayCharacterization>>,
+    baseline: ArrayCharacterization,
+    reference_power: Watts,
+}
+
+impl Explorer {
+    /// Creates an explorer on the paper's 22 nm node with EDP-optimized
+    /// arrays.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(ProcessNode::ptm_22nm_hp(), Objective::EnergyDelayProduct)
+    }
+
+    /// Creates an explorer with an explicit node and array objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference benchmark is missing from the workload
+    /// suite (it never is).
+    #[must_use]
+    pub fn new(node: ProcessNode, objective: Objective) -> Self {
+        let baseline = MemoryConfig::sram_350k().characterize(&node, objective);
+        let reference = spec2017()
+            .iter()
+            .find(|b| b.name == REFERENCE_BENCHMARK)
+            .expect("reference benchmark present");
+        let reference_power = device_power(&baseline, &reference.traffic);
+        Self {
+            node,
+            objective,
+            cache: RefCell::new(HashMap::new()),
+            baseline,
+            reference_power,
+        }
+    }
+
+    /// The process node.
+    #[must_use]
+    pub fn node(&self) -> &ProcessNode {
+        &self.node
+    }
+
+    /// The array-organization objective.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The 350 K SRAM baseline characterization.
+    #[must_use]
+    pub fn baseline(&self) -> &ArrayCharacterization {
+        &self.baseline
+    }
+
+    /// The normalization denominator: baseline power on the reference
+    /// benchmark.
+    #[must_use]
+    pub fn reference_power(&self) -> Watts {
+        self.reference_power
+    }
+
+    /// Characterizes a configuration's array (cached).
+    #[must_use]
+    pub fn characterize(&self, config: &MemoryConfig) -> ArrayCharacterization {
+        let key = config.label();
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return hit.clone();
+        }
+        let array = config.characterize(&self.node, self.objective);
+        self.cache
+            .borrow_mut()
+            .insert(key, array.clone());
+        array
+    }
+
+    /// Evaluates one configuration under one benchmark's traffic.
+    #[must_use]
+    pub fn evaluate(&self, config: &MemoryConfig, benchmark: &Benchmark) -> LlcEvaluation {
+        let array = self.characterize(config);
+        let cell = config.to_spec(&self.node).cell().clone();
+        let years = lifetime_years(
+            &cell,
+            coldtall_units::Capacity::from_mebibytes(16),
+            512,
+            benchmark.traffic.writes_per_sec,
+        );
+        LlcEvaluation::build(
+            config,
+            benchmark.name,
+            benchmark.traffic,
+            &array,
+            &self.baseline,
+            self.reference_power,
+            years,
+        )
+    }
+
+    /// Evaluates the full study: every configuration of
+    /// [`MemoryConfig::study_set`] under every SPEC2017 benchmark.
+    #[must_use]
+    pub fn sweep(&self) -> Vec<LlcEvaluation> {
+        self.sweep_configs(&MemoryConfig::study_set())
+    }
+
+    /// Evaluates the given configurations under every SPEC2017 benchmark.
+    #[must_use]
+    pub fn sweep_configs(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
+        configs
+            .iter()
+            .flat_map(|config| {
+                spec2017()
+                    .iter()
+                    .map(move |benchmark| self.evaluate(config, benchmark))
+            })
+            .collect()
+    }
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_workloads::benchmark;
+
+    #[test]
+    fn baseline_on_reference_normalizes_to_one() {
+        let explorer = Explorer::with_defaults();
+        let eval = explorer.evaluate(
+            &MemoryConfig::sram_350k(),
+            benchmark(REFERENCE_BENCHMARK).unwrap(),
+        );
+        assert!((eval.relative_power - 1.0).abs() < 1e-9);
+        assert!((eval.relative_latency - 1.0).abs() < 1e-9);
+        assert!(!eval.slowdown);
+    }
+
+    #[test]
+    fn characterization_cache_is_consistent() {
+        let explorer = Explorer::with_defaults();
+        let a = explorer.characterize(&MemoryConfig::edram_77k());
+        let b = explorer.characterize(&MemoryConfig::edram_77k());
+        assert_eq!(a, b);
+        assert_eq!(explorer.cache.borrow().len(), 1);
+    }
+
+    #[test]
+    fn sweep_covers_the_cross_product() {
+        let explorer = Explorer::with_defaults();
+        let configs = [MemoryConfig::sram_350k(), MemoryConfig::edram_77k()];
+        let rows = explorer.sweep_configs(&configs);
+        assert_eq!(rows.len(), 2 * spec2017().len());
+    }
+
+    #[test]
+    fn edram_350k_is_infeasible_for_performance() {
+        let explorer = Explorer::with_defaults();
+        let eval = explorer.evaluate(&MemoryConfig::edram_350k(), benchmark("namd").unwrap());
+        assert!(eval.relative_latency.is_infinite());
+        assert!(eval.slowdown);
+    }
+
+    #[test]
+    fn cryo_sram_on_namd_matches_fig4_anchors() {
+        let explorer = Explorer::with_defaults();
+        let namd = benchmark("namd").unwrap();
+        let warm = explorer.evaluate(&MemoryConfig::sram_350k(), namd);
+        let cold = explorer.evaluate(&MemoryConfig::sram_77k(), namd);
+        // Without cooling the reduction is enormous; with the 9.65x
+        // cooling charge roughly a 3-5x net win remains (Fig. 4).
+        let no_cooling = warm.device_power / cold.device_power;
+        assert!(no_cooling > 30.0, "no-cooling ratio = {no_cooling}");
+        let with_cooling = warm.wall_power / cold.wall_power;
+        assert!(
+            with_cooling > 2.0 && with_cooling < 8.0,
+            "cooled ratio = {with_cooling}"
+        );
+    }
+}

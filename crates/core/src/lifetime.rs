@@ -1,0 +1,97 @@
+//! Endurance and lifetime screening for wear-limited technologies.
+
+use coldtall_cell::CellModel;
+use coldtall_units::Capacity;
+
+/// The minimum acceptable LLC lifetime used by the selection engine when
+/// flagging endurance-limited winners (five years, a common server
+/// depreciation horizon).
+pub const LIFETIME_TARGET_YEARS: f64 = 5.0;
+
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Expected lifetime, in years, of a cache built from `cell` sustaining
+/// `writes_per_sec` line writes, assuming ideal wear-leveling across all
+/// lines (writes spread uniformly, the standard optimistic bound).
+///
+/// Returns `f64::INFINITY` for effectively unlimited-endurance
+/// technologies (SRAM, eDRAM, STT-RAM at >=1e15 cycles).
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+/// use coldtall_core::lifetime_years;
+/// use coldtall_tech::ProcessNode;
+/// use coldtall_units::Capacity;
+///
+/// let node = ProcessNode::ptm_22nm_hp();
+/// let pcm = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Pessimistic, &node);
+/// let years = lifetime_years(&pcm, Capacity::from_mebibytes(16), 512, 1.0e6);
+/// assert!(years < 5.0, "pessimistic PCM wears out quickly");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `line_bits` is zero or `writes_per_sec` is negative.
+#[must_use]
+pub fn lifetime_years(
+    cell: &CellModel,
+    capacity: Capacity,
+    line_bits: u32,
+    writes_per_sec: f64,
+) -> f64 {
+    assert!(line_bits > 0, "line width must be positive");
+    assert!(writes_per_sec >= 0.0, "write rate must be non-negative");
+    if cell.endurance_writes() >= 1e15 || writes_per_sec == 0.0 {
+        return f64::INFINITY;
+    }
+    let lines = capacity.bits_f64() / f64::from(line_bits);
+    let total_writes = cell.endurance_writes() * lines;
+    total_writes / writes_per_sec / SECONDS_PER_YEAR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_cell::{MemoryTechnology, Tentpole};
+    use coldtall_tech::ProcessNode;
+
+    fn cap() -> Capacity {
+        Capacity::from_mebibytes(16)
+    }
+
+    #[test]
+    fn sram_never_wears_out() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let sram = CellModel::sram(&node);
+        assert_eq!(lifetime_years(&sram, cap(), 512, 1e9), f64::INFINITY);
+    }
+
+    #[test]
+    fn optimistic_pcm_survives_moderate_traffic_but_not_lbm() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let pcm = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &node);
+        let moderate = lifetime_years(&pcm, cap(), 512, 1e6);
+        assert!(moderate > LIFETIME_TARGET_YEARS, "moderate = {moderate}");
+        // lbm-class write traffic (2e8/s) wears optimistic PCM out.
+        let heavy = lifetime_years(&pcm, cap(), 512, 2e8);
+        assert!(heavy < LIFETIME_TARGET_YEARS, "heavy = {heavy}");
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_traffic() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let rram = CellModel::tentpole(MemoryTechnology::Rram, Tentpole::Optimistic, &node);
+        let slow = lifetime_years(&rram, cap(), 512, 1e5);
+        let fast = lifetime_years(&rram, cap(), 512, 1e7);
+        assert!((slow / fast - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_traffic_is_unlimited() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let pcm = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Pessimistic, &node);
+        assert_eq!(lifetime_years(&pcm, cap(), 512, 0.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,198 @@
+//! Constraint filtering and Pareto-frontier extraction.
+//!
+//! NVMExplorer's inputs include "system design space and constraints";
+//! this module implements that side of the flow: screen evaluations
+//! against deployment constraints, extract the power/latency/area
+//! Pareto frontier, and recommend a configuration.
+
+use crate::evaluate::LlcEvaluation;
+
+/// Deployment constraints an LLC evaluation must satisfy.
+///
+/// The default constraints encode the paper's viability conditions: no
+/// slowdown versus the SRAM baseline (relative latency at most 1) and a
+/// five-year lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_core::{Constraints, Explorer, MemoryConfig};
+/// use coldtall_workloads::benchmark;
+///
+/// let explorer = Explorer::with_defaults();
+/// let eval = explorer.evaluate(&MemoryConfig::sram_350k(), benchmark("namd").unwrap());
+/// assert!(Constraints::default().satisfied_by(&eval));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Maximum relative LLC latency (1 = no slowdown vs 350 K SRAM).
+    pub max_relative_latency: f64,
+    /// Maximum 2D footprint in square millimeters, if bounded.
+    pub max_area_mm2: Option<f64>,
+    /// Minimum wear-limited lifetime in years.
+    pub min_lifetime_years: f64,
+    /// Maximum relative power, if bounded.
+    pub max_relative_power: Option<f64>,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Self {
+            max_relative_latency: 1.0,
+            max_area_mm2: None,
+            min_lifetime_years: crate::lifetime::LIFETIME_TARGET_YEARS,
+            max_relative_power: None,
+        }
+    }
+}
+
+impl Constraints {
+    /// Unconstrained screening (everything passes except refresh-dead
+    /// configurations).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_relative_latency: f64::INFINITY,
+            max_area_mm2: None,
+            min_lifetime_years: 0.0,
+            max_relative_power: None,
+        }
+    }
+
+    /// Whether `eval` satisfies every constraint.
+    #[must_use]
+    pub fn satisfied_by(&self, eval: &LlcEvaluation) -> bool {
+        eval.relative_latency <= self.max_relative_latency
+            && self.max_area_mm2.is_none_or(|a| eval.footprint_mm2 <= a)
+            && eval.lifetime_years >= self.min_lifetime_years
+            && self
+                .max_relative_power
+                .is_none_or(|p| eval.relative_power <= p)
+    }
+}
+
+/// Returns `true` if `a` dominates `b` in the (power, latency, area)
+/// minimization sense: no worse everywhere, strictly better somewhere.
+#[must_use]
+fn dominates(a: &LlcEvaluation, b: &LlcEvaluation) -> bool {
+    let no_worse = a.relative_power <= b.relative_power
+        && a.relative_latency <= b.relative_latency
+        && a.footprint_mm2 <= b.footprint_mm2;
+    let better = a.relative_power < b.relative_power
+        || a.relative_latency < b.relative_latency
+        || a.footprint_mm2 < b.footprint_mm2;
+    no_worse && better
+}
+
+/// Extracts the power/latency/area Pareto frontier of a set of
+/// evaluations (typically one benchmark across all configurations),
+/// sorted by ascending relative power.
+#[must_use]
+pub fn pareto_front(evals: &[LlcEvaluation]) -> Vec<LlcEvaluation> {
+    let mut front: Vec<LlcEvaluation> = evals
+        .iter()
+        .filter(|e| e.relative_latency.is_finite())
+        .filter(|candidate| !evals.iter().any(|other| dominates(other, candidate)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.relative_power.total_cmp(&b.relative_power));
+    front.dedup_by(|a, b| a.config_label == b.config_label);
+    front
+}
+
+/// Recommends the lowest-power configuration satisfying `constraints`
+/// for the given pre-computed evaluations, or `None` when nothing
+/// qualifies.
+#[must_use]
+pub fn recommend<'a>(
+    evals: &'a [LlcEvaluation],
+    constraints: &Constraints,
+) -> Option<&'a LlcEvaluation> {
+    evals
+        .iter()
+        .filter(|e| constraints.satisfied_by(e))
+        .min_by(|a, b| a.relative_power.total_cmp(&b.relative_power))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryConfig;
+    use crate::explorer::Explorer;
+    use coldtall_workloads::benchmark;
+
+    fn evals_for(bench_name: &str) -> Vec<LlcEvaluation> {
+        let explorer = Explorer::with_defaults();
+        let bench = benchmark(bench_name).unwrap();
+        MemoryConfig::study_set()
+            .iter()
+            .map(|c| explorer.evaluate(c, bench))
+            .collect()
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominated() {
+        let evals = evals_for("namd");
+        let front = pareto_front(&evals);
+        assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                if a.config_label != b.config_label {
+                    assert!(!dominates(a, b) || !dominates(b, a));
+                }
+            }
+        }
+        // Everything off the front is dominated by something on it.
+        for e in &evals {
+            if e.relative_latency.is_finite()
+                && !front.iter().any(|f| f.config_label == e.config_label)
+            {
+                assert!(
+                    evals.iter().any(|other| dominates(other, e)),
+                    "{} should be dominated",
+                    e.config_label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn front_excludes_refresh_dead_configs() {
+        let evals = evals_for("namd");
+        let front = pareto_front(&evals);
+        assert!(front.iter().all(|e| e.relative_latency.is_finite()));
+    }
+
+    #[test]
+    fn default_constraints_require_viability() {
+        let evals = evals_for("lbm");
+        let pick = recommend(&evals, &Constraints::default()).unwrap();
+        assert!(pick.relative_latency <= 1.0);
+        assert!(pick.meets_lifetime_target());
+        // Unconstrained pick is at least as low-power.
+        let free = recommend(&evals, &Constraints::none()).unwrap();
+        assert!(free.relative_power <= pick.relative_power);
+    }
+
+    #[test]
+    fn impossible_constraints_yield_none() {
+        let evals = evals_for("namd");
+        let constraints = Constraints {
+            max_area_mm2: Some(0.001),
+            ..Constraints::default()
+        };
+        assert!(recommend(&evals, &constraints).is_none());
+    }
+
+    #[test]
+    fn area_constraint_filters_planar_sram() {
+        let evals = evals_for("povray");
+        let constraints = Constraints {
+            max_area_mm2: Some(3.0),
+            ..Constraints::none()
+        };
+        let pick = recommend(&evals, &constraints).unwrap();
+        assert!(pick.footprint_mm2 <= 3.0);
+        assert_ne!(pick.config_label, "SRAM");
+    }
+}

@@ -1,0 +1,285 @@
+//! The Table II engine: optimal LLC per traffic band and design target.
+
+use std::collections::HashMap;
+
+use coldtall_workloads::{spec2017, Benchmark, TrafficBand};
+
+use crate::config::MemoryConfig;
+use crate::evaluate::LlcEvaluation;
+use crate::explorer::Explorer;
+
+/// The optimization goal of one Table II column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignTarget {
+    /// Minimize total LLC wall power (including cooling).
+    Power,
+    /// Minimize traffic-weighted LLC latency.
+    Performance,
+    /// Minimize the 2D footprint.
+    Area,
+}
+
+impl DesignTarget {
+    /// All targets, in Table II column order.
+    pub const ALL: [Self; 3] = [Self::Power, Self::Performance, Self::Area];
+
+    fn score(self, eval: &LlcEvaluation) -> f64 {
+        match self {
+            Self::Power => eval.relative_power,
+            Self::Performance => eval.relative_latency,
+            Self::Area => eval.footprint_mm2,
+        }
+    }
+}
+
+/// The chosen configuration for one band/target cell of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalChoice {
+    /// Label of the winning configuration.
+    pub label: String,
+    /// Label of the second-most-preferred configuration, which the paper
+    /// lists as "alt" when the winner has endurance concerns.
+    pub alternate: Option<String>,
+    /// Whether the winner fails the five-year lifetime target on any
+    /// benchmark of the band (endurance screening).
+    pub endurance_limited: bool,
+    /// Geometric-mean improvement factor over the 350 K SRAM baseline
+    /// across the band's benchmarks (for the Power target this is the
+    /// paper's "x reduction in power"; 1.0 means parity).
+    pub improvement: f64,
+}
+
+/// One row of Table II: a traffic band with its per-target winners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandSummary {
+    /// The traffic band.
+    pub band: TrafficBand,
+    /// Winner under the power target.
+    pub power: OptimalChoice,
+    /// Winner under the performance target.
+    pub performance: OptimalChoice,
+    /// Winner under the area target.
+    pub area: OptimalChoice,
+}
+
+/// Builds the paper's Table II from the full study sweep: for each
+/// traffic band and design target, the configuration winning on the
+/// most benchmarks of that band, with the second-most-preferred
+/// configuration as the endurance alternate.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+#[must_use]
+pub fn summarize(explorer: &Explorer, configs: &[MemoryConfig]) -> Vec<BandSummary> {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    TrafficBand::ALL
+        .iter()
+        .map(|&band| {
+            let benchmarks: Vec<&Benchmark> = spec2017()
+                .iter()
+                .filter(|b| b.traffic_band() == band)
+                .collect();
+            let choose = |target| choose_for(explorer, configs, &benchmarks, target);
+            BandSummary {
+                band,
+                power: choose(DesignTarget::Power),
+                performance: choose(DesignTarget::Performance),
+                area: choose(DesignTarget::Area),
+            }
+        })
+        .collect()
+}
+
+/// Convenience: Table II over the full study configuration set.
+#[must_use]
+pub fn table2(explorer: &Explorer) -> Vec<BandSummary> {
+    summarize(explorer, &MemoryConfig::study_set())
+}
+
+fn choose_for(
+    explorer: &Explorer,
+    configs: &[MemoryConfig],
+    benchmarks: &[&Benchmark],
+    target: DesignTarget,
+) -> OptimalChoice {
+    // Per benchmark: rank configurations by the target score.
+    let mut first_counts: HashMap<String, usize> = HashMap::new();
+    let mut evals: HashMap<(String, &'static str), LlcEvaluation> = HashMap::new();
+    for benchmark in benchmarks {
+        let mut ranked: Vec<LlcEvaluation> = configs
+            .iter()
+            .map(|c| explorer.evaluate(c, benchmark))
+            .filter(|e| target.score(e).is_finite())
+            .collect();
+        ranked.sort_by(|a, b| {
+            target
+                .score(a)
+                .partial_cmp(&target.score(b))
+                .expect("finite scores")
+        });
+        if let Some(first) = ranked.first() {
+            *first_counts.entry(first.config_label.clone()).or_default() += 1;
+        }
+        for e in ranked {
+            evals.insert((e.config_label.clone(), e.benchmark), e);
+        }
+    }
+
+    let winner = modal(&first_counts).expect("at least one feasible configuration");
+    // The alternate — the paper's "second-most-preferred LLC" — is the
+    // winner among configurations of a *different solution class*
+    // (different technology or temperature regime), so a family of die
+    // counts does not crowd the podium.
+    let winner_config = configs.iter().find(|c| c.label() == winner);
+    let alternate = winner_config.and_then(|wc| {
+        let others: Vec<MemoryConfig> = configs
+            .iter()
+            .filter(|c| {
+                c.technology() != wc.technology() || c.is_cryogenic() != wc.is_cryogenic()
+            })
+            .cloned()
+            .collect();
+        if others.is_empty() {
+            return None;
+        }
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for benchmark in benchmarks {
+            let best = others
+                .iter()
+                .map(|c| explorer.evaluate(c, benchmark))
+                .filter(|e| target.score(e).is_finite())
+                .min_by(|a, b| {
+                    target
+                        .score(a)
+                        .partial_cmp(&target.score(b))
+                        .expect("finite scores")
+                });
+            if let Some(best) = best {
+                *counts.entry(best.config_label).or_default() += 1;
+            }
+        }
+        modal(&counts)
+    });
+
+    let winner_rows: Vec<&LlcEvaluation> = benchmarks
+        .iter()
+        .filter_map(|b| evals.get(&(winner.clone(), b.name)))
+        .collect();
+    let endurance_limited = winner_rows.iter().any(|e| !e.meets_lifetime_target());
+    let improvement = geometric_mean(winner_rows.iter().map(|e| {
+        let score = target.score(e);
+        match target {
+            DesignTarget::Power | DesignTarget::Performance => 1.0 / score,
+            DesignTarget::Area => 1.0 / score, // mm^2; relative use only
+        }
+    }));
+
+    OptimalChoice {
+        label: winner,
+        alternate,
+        endurance_limited,
+        improvement,
+    }
+}
+
+fn modal(counts: &HashMap<String, usize>) -> Option<String> {
+    counts
+        .iter()
+        .max_by_key(|(label, count)| (**count, std::cmp::Reverse(label.len())))
+        .map(|(label, _)| label.clone())
+}
+
+fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<BandSummary> {
+        let explorer = Explorer::with_defaults();
+        table2(&explorer)
+    }
+
+    #[test]
+    fn low_band_power_goes_cryogenic() {
+        let t = table();
+        let low = t.iter().find(|b| b.band == TrafficBand::Low).unwrap();
+        assert_eq!(low.power.label, "77K 3T-eDRAM");
+        // Paper: more than 2,500x reduction including cooling.
+        assert!(
+            low.power.improvement > 100.0,
+            "low-band improvement = {}",
+            low.power.improvement
+        );
+    }
+
+    #[test]
+    fn high_band_power_goes_to_3d_pcm() {
+        let t = table();
+        let high = t.iter().find(|b| b.band == TrafficBand::High).unwrap();
+        assert!(
+            high.power.label.contains("PCM"),
+            "high-band winner = {}",
+            high.power.label
+        );
+        assert!(
+            high.power.label.contains("die"),
+            "high-band winner should be 3D: {}",
+            high.power.label
+        );
+        assert!(high.power.endurance_limited, "PCM is endurance-screened");
+    }
+
+    #[test]
+    fn room_temperature_performance_winner_is_stacked_stt_or_pcm() {
+        // Among non-cryogenic solutions the paper's Table II performance
+        // column holds: maximally-stacked STT-RAM (or PCM for the
+        // read-dominated extreme) wins. In our reproduction the
+        // cryogenic arrays additionally top raw latency overall (the
+        // deviation is documented in EXPERIMENTS.md).
+        let explorer = Explorer::with_defaults();
+        let configs: Vec<MemoryConfig> = MemoryConfig::study_set()
+            .into_iter()
+            .filter(|c| !c.is_cryogenic())
+            .collect();
+        let t = summarize(&explorer, &configs);
+        for row in &t {
+            let label = &row.performance.label;
+            assert!(
+                label.contains("STT-RAM") || label.contains("PCM"),
+                "{}: performance winner = {label}",
+                row.band
+            );
+            assert!(label.contains("8-die"), "expect max stacking: {label}");
+        }
+    }
+
+    #[test]
+    fn area_winner_is_3d_pcm_with_stt_or_pcm_alternate() {
+        let t = table();
+        for row in &t {
+            assert!(
+                row.area.label.contains("PCM"),
+                "{}: area winner = {}",
+                row.band,
+                row.area.label
+            );
+            assert!(row.area.label.contains("8-die"));
+        }
+    }
+
+    #[test]
+    fn mid_band_alternate_exists() {
+        let t = table();
+        let mid = t.iter().find(|b| b.band == TrafficBand::Mid).unwrap();
+        assert!(mid.power.alternate.is_some());
+    }
+}

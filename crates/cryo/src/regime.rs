@@ -1,0 +1,100 @@
+//! Operating-temperature regimes and model validity.
+
+use coldtall_units::Kelvin;
+
+/// The operating regime a temperature falls into, following the paper's
+/// background taxonomy (Section II-A).
+///
+/// The study's CMOS models are valid in the
+/// [`Cmos77K`](OperatingRegime::Cmos77K) and
+/// [`Conventional`](OperatingRegime::Conventional) regimes. Below ~60 K
+/// carrier freeze-out invalidates the bulk-CMOS device cards, and near
+/// 4 K computing moves to superconducting logic families (RSFQ, AQFP)
+/// that this toolchain does not model.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_cryo::OperatingRegime;
+/// use coldtall_units::Kelvin;
+///
+/// assert_eq!(OperatingRegime::of(Kelvin::LN2), OperatingRegime::Cmos77K);
+/// assert!(OperatingRegime::of(Kelvin::LN2).models_are_valid());
+/// assert!(!OperatingRegime::of(Kelvin::new(4.0)).models_are_valid());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatingRegime {
+    /// Liquid-helium territory (< 10 K): superconducting logic only.
+    Superconducting,
+    /// 10-60 K: bulk CMOS suffers carrier freeze-out; models invalid.
+    FreezeOut,
+    /// 60-150 K: the liquid-nitrogen CMOS regime the study targets.
+    Cmos77K,
+    /// 150-400 K: conventional operation.
+    Conventional,
+    /// Above 400 K: beyond the thermal envelope of the device cards.
+    OverTemperature,
+}
+
+impl OperatingRegime {
+    /// Classifies a temperature.
+    #[must_use]
+    pub fn of(t: Kelvin) -> Self {
+        match t.get() {
+            t if t < 10.0 => Self::Superconducting,
+            t if t < 60.0 => Self::FreezeOut,
+            t if t < 150.0 => Self::Cmos77K,
+            t if t <= 400.0 => Self::Conventional,
+            _ => Self::OverTemperature,
+        }
+    }
+
+    /// Whether the workspace's CMOS device and wire models hold in this
+    /// regime.
+    #[must_use]
+    pub fn models_are_valid(self) -> bool {
+        matches!(self, Self::Cmos77K | Self::Conventional)
+    }
+
+    /// The coolant conventionally used to reach this regime, if any.
+    #[must_use]
+    pub fn coolant(self) -> Option<&'static str> {
+        match self {
+            Self::Superconducting => Some("liquid helium"),
+            Self::FreezeOut => Some("cryocooler"),
+            Self::Cmos77K => Some("liquid nitrogen"),
+            Self::Conventional | Self::OverTemperature => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(OperatingRegime::of(Kelvin::new(4.0)), OperatingRegime::Superconducting);
+        assert_eq!(OperatingRegime::of(Kelvin::new(30.0)), OperatingRegime::FreezeOut);
+        assert_eq!(OperatingRegime::of(Kelvin::new(77.0)), OperatingRegime::Cmos77K);
+        assert_eq!(OperatingRegime::of(Kelvin::new(149.9)), OperatingRegime::Cmos77K);
+        assert_eq!(OperatingRegime::of(Kelvin::new(300.0)), OperatingRegime::Conventional);
+        assert_eq!(OperatingRegime::of(Kelvin::new(401.0)), OperatingRegime::OverTemperature);
+    }
+
+    #[test]
+    fn validity_matches_the_study_range() {
+        for t in [77.0, 127.0, 300.0, 350.0, 387.0] {
+            assert!(OperatingRegime::of(Kelvin::new(t)).models_are_valid());
+        }
+        for t in [4.0, 40.0, 450.0] {
+            assert!(!OperatingRegime::of(Kelvin::new(t)).models_are_valid());
+        }
+    }
+
+    #[test]
+    fn coolants() {
+        assert_eq!(OperatingRegime::Cmos77K.coolant(), Some("liquid nitrogen"));
+        assert_eq!(OperatingRegime::Conventional.coolant(), None);
+    }
+}

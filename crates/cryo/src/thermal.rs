@@ -1,0 +1,89 @@
+//! Liquid-nitrogen bath thermal budget.
+
+use coldtall_units::Watts;
+
+/// The conventional LN2 bath-cooling method's thermal envelope, as cited
+/// in the paper's discussion: 157 W of cooling capacity (2.41x the 65 W
+/// of a 300 K air cooler) with roughly 20 K of temperature variation
+/// across the die.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_cryo::LnBath;
+/// use coldtall_units::Watts;
+///
+/// let bath = LnBath::default();
+/// assert!(bath.can_dissipate(Watts::new(100.0)));
+/// assert!(!bath.can_dissipate(Watts::new(200.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LnBath {
+    capacity: Watts,
+    air_cooling_reference: Watts,
+    temperature_variation_k: f64,
+}
+
+impl LnBath {
+    /// The paper's cited LN2 bath: 157 W capacity, 20 K variation,
+    /// compared against a 65 W air cooler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            capacity: Watts::new(157.0),
+            air_cooling_reference: Watts::new(65.0),
+            temperature_variation_k: 20.0,
+        }
+    }
+
+    /// The bath's heat-removal capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Watts {
+        self.capacity
+    }
+
+    /// Cooling-capacity advantage over conventional air cooling.
+    #[must_use]
+    pub fn advantage_over_air(&self) -> f64 {
+        self.capacity / self.air_cooling_reference
+    }
+
+    /// Die temperature variation under the bath, kelvin.
+    #[must_use]
+    pub fn temperature_variation_k(&self) -> f64 {
+        self.temperature_variation_k
+    }
+
+    /// Whether the bath can remove `heat` watts: the thermal feasibility
+    /// check for cooling the whole processor to 77 K.
+    #[must_use]
+    pub fn can_dissipate(&self, heat: Watts) -> bool {
+        heat <= self.capacity
+    }
+}
+
+impl Default for LnBath {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_cited_figures() {
+        let bath = LnBath::new();
+        assert_eq!(bath.capacity().get(), 157.0);
+        assert!((bath.advantage_over_air() - 2.415).abs() < 0.01);
+        assert_eq!(bath.temperature_variation_k(), 20.0);
+    }
+
+    #[test]
+    fn dissipation_check_is_inclusive() {
+        let bath = LnBath::new();
+        assert!(bath.can_dissipate(Watts::new(157.0)));
+        assert!(!bath.can_dissipate(Watts::new(157.1)));
+    }
+}

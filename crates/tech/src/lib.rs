@@ -1,0 +1,52 @@
+//! Device and interconnect technology models for the `coldtall` workspace.
+//!
+//! This crate plays the role that PTM/ITRS device cards and the device
+//! layer of CryoMEM play in the paper: it provides a 22 nm high-performance
+//! CMOS process model whose transistor and wire characteristics are valid
+//! from deep-cryogenic (77 K) to hot-corner (400 K) operating temperatures.
+//!
+//! The temperature dependences are analytical and calibrated against the
+//! relative anchors reported by the paper and its upstream tools
+//! (CryoMEM / CryoRAM):
+//!
+//! * copper wire resistivity falls roughly linearly with temperature
+//!   (about 6x lower at 77 K than at 300 K),
+//! * subthreshold leakage collapses exponentially as the thermal voltage
+//!   shrinks and the threshold voltage rises, bottoming out on a
+//!   temperature-insensitive gate/junction tunneling floor roughly six
+//!   orders of magnitude below room-temperature leakage,
+//! * carrier mobility improves as phonon scattering freezes out, capped
+//!   by impurity scattering,
+//! * dynamic switching energy is nearly temperature-insensitive.
+//!
+//! # Examples
+//!
+//! ```
+//! use coldtall_tech::{Mosfet, OperatingPoint, ProcessNode};
+//! use coldtall_units::Kelvin;
+//!
+//! let node = ProcessNode::ptm_22nm_hp();
+//! let cryo = OperatingPoint::cryo_optimized(&node, Kelvin::LN2);
+//! let room = OperatingPoint::nominal(&node, Kelvin::REFERENCE);
+//!
+//! let nmos = Mosfet::nmos(&node);
+//! let leak_cryo = nmos.leakage_current_per_um(&cryo);
+//! let leak_room = nmos.leakage_current_per_um(&room);
+//! assert!(leak_cryo.get() < leak_room.get() * 1e-5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constants;
+mod mosfet;
+mod process;
+mod resistivity;
+mod scaling;
+mod wire;
+
+pub use mosfet::{Mosfet, Polarity};
+pub use process::ProcessNode;
+pub use resistivity::{copper_resistivity_ratio, RESISTIVITY_VALID_MIN_K};
+pub use scaling::OperatingPoint;
+pub use wire::{Wire, WireKind};

@@ -1,0 +1,211 @@
+//! Process-node description.
+
+use coldtall_units::{Farads, Meters, Volts};
+
+use crate::wire::{Wire, WireKind};
+
+/// A CMOS process node: the fixed, temperature-independent technology
+/// parameters from which device and wire models are derived.
+///
+/// The workspace ships the paper's technology point,
+/// [`ProcessNode::ptm_22nm_hp`], a 22 nm high-performance node with
+/// `Vdd = 0.8 V` and `Vth = 0.5 V` following the PTM/ITRS road map.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_tech::ProcessNode;
+///
+/// let node = ProcessNode::ptm_22nm_hp();
+/// assert_eq!(node.feature_nm(), 22.0);
+/// assert_eq!(node.vdd_nominal().get(), 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessNode {
+    name: &'static str,
+    feature_nm: f64,
+    vdd_nominal: Volts,
+    vth_nominal: Volts,
+    gate_cap_per_m: Farads,
+    junction_cap_per_m: Farads,
+    min_width: Meters,
+}
+
+impl ProcessNode {
+    /// The 22 nm high-performance node used throughout the paper
+    /// (Vdd = 0.8 V, Vth = 0.5 V, PTM/ITRS-derived parasitics).
+    #[must_use]
+    pub fn ptm_22nm_hp() -> Self {
+        Self {
+            name: "PTM 22nm HP",
+            feature_nm: 22.0,
+            vdd_nominal: Volts::new(0.8),
+            vth_nominal: Volts::new(0.5),
+            // 0.9 fF per micron of gate width.
+            gate_cap_per_m: Farads::new(0.9e-9),
+            // 0.5 fF per micron of junction width.
+            junction_cap_per_m: Farads::new(0.5e-9),
+            min_width: Meters::from_nanos(44.0),
+        }
+    }
+
+    /// A 45 nm high-performance node (PTM-style), for node-scaling
+    /// ablation studies.
+    #[must_use]
+    pub fn ptm_45nm_hp() -> Self {
+        Self {
+            name: "PTM 45nm HP",
+            feature_nm: 45.0,
+            vdd_nominal: Volts::new(1.0),
+            vth_nominal: Volts::new(0.47),
+            gate_cap_per_m: Farads::new(1.1e-9),
+            junction_cap_per_m: Farads::new(0.6e-9),
+            min_width: Meters::from_nanos(90.0),
+        }
+    }
+
+    /// A 32 nm high-performance node (PTM-style), for node-scaling
+    /// ablation studies.
+    #[must_use]
+    pub fn ptm_32nm_hp() -> Self {
+        Self {
+            name: "PTM 32nm HP",
+            feature_nm: 32.0,
+            vdd_nominal: Volts::new(0.9),
+            vth_nominal: Volts::new(0.49),
+            gate_cap_per_m: Farads::new(1.0e-9),
+            junction_cap_per_m: Farads::new(0.55e-9),
+            min_width: Meters::from_nanos(64.0),
+        }
+    }
+
+    /// A 16 nm-class FinFET-like node extrapolation, for node-scaling
+    /// ablation studies (treated as a planar-equivalent scaling of the
+    /// 22 nm card).
+    #[must_use]
+    pub fn finfet_16nm_hp() -> Self {
+        Self {
+            name: "16nm HP (planar-equivalent)",
+            feature_nm: 16.0,
+            vdd_nominal: Volts::new(0.75),
+            vth_nominal: Volts::new(0.45),
+            gate_cap_per_m: Farads::new(0.85e-9),
+            junction_cap_per_m: Farads::new(0.45e-9),
+            min_width: Meters::from_nanos(32.0),
+        }
+    }
+
+    /// The node-scaling ablation set, largest feature size first.
+    #[must_use]
+    pub fn scaling_set() -> Vec<Self> {
+        vec![
+            Self::ptm_45nm_hp(),
+            Self::ptm_32nm_hp(),
+            Self::ptm_22nm_hp(),
+            Self::finfet_16nm_hp(),
+        ]
+    }
+
+    /// Human-readable node name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Feature size `F` in nanometers.
+    #[must_use]
+    pub fn feature_nm(&self) -> f64 {
+        self.feature_nm
+    }
+
+    /// Feature size `F` as a length.
+    #[must_use]
+    pub fn feature(&self) -> Meters {
+        Meters::from_nanos(self.feature_nm)
+    }
+
+    /// Area of one square feature (`F^2`) in square meters, the unit in
+    /// which memory-cell footprints are expressed.
+    #[must_use]
+    pub fn feature_area_m2(&self) -> f64 {
+        let f = self.feature_nm * 1e-9;
+        f * f
+    }
+
+    /// Nominal supply voltage.
+    #[must_use]
+    pub fn vdd_nominal(&self) -> Volts {
+        self.vdd_nominal
+    }
+
+    /// Nominal NMOS threshold voltage at 300 K.
+    #[must_use]
+    pub fn vth_nominal(&self) -> Volts {
+        self.vth_nominal
+    }
+
+    /// Gate capacitance per meter of transistor width.
+    #[must_use]
+    pub fn gate_cap_per_m(&self) -> Farads {
+        self.gate_cap_per_m
+    }
+
+    /// Source/drain junction capacitance per meter of transistor width.
+    #[must_use]
+    pub fn junction_cap_per_m(&self) -> Farads {
+        self.junction_cap_per_m
+    }
+
+    /// Minimum drawn transistor width.
+    #[must_use]
+    pub fn min_width(&self) -> Meters {
+        self.min_width
+    }
+
+    /// Returns the wire model for the requested metal layer class.
+    #[must_use]
+    pub fn wire(&self, kind: WireKind) -> Wire {
+        Wire::for_node(self, kind)
+    }
+}
+
+impl Default for ProcessNode {
+    fn default() -> Self {
+        Self::ptm_22nm_hp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_area() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let f2 = node.feature_area_m2();
+        assert!((f2 - 4.84e-16).abs() < 1e-18);
+    }
+
+    #[test]
+    fn default_is_22nm() {
+        assert_eq!(ProcessNode::default(), ProcessNode::ptm_22nm_hp());
+    }
+
+    #[test]
+    fn scaling_set_is_ordered_and_scales_supply() {
+        let set = ProcessNode::scaling_set();
+        assert_eq!(set.len(), 4);
+        for pair in set.windows(2) {
+            assert!(pair[0].feature_nm() > pair[1].feature_nm());
+            assert!(pair[0].vdd_nominal() >= pair[1].vdd_nominal());
+        }
+    }
+
+    #[test]
+    fn wires_differ_by_layer() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let local = node.wire(WireKind::Local);
+        let global = node.wire(WireKind::Global);
+        assert!(local.resistance_per_m_300k().get() > global.resistance_per_m_300k().get());
+    }
+}

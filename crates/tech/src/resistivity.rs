@@ -1,0 +1,87 @@
+//! Temperature-dependent electrical resistivity of copper interconnect.
+//!
+//! Above roughly 60 K the resistivity of copper is dominated by phonon
+//! scattering and falls almost linearly with temperature (Matula's
+//! reference data); below that, residual impurity resistivity takes over
+//! and the curve flattens. The paper's headline wire anchor is a roughly
+//! 6x bulk-resistivity reduction at 77 K relative to 300 K.
+
+/// Lowest temperature (kelvin) at which the linear phonon-scattering model
+/// is applied; below this the residual-resistivity floor holds.
+pub const RESISTIVITY_VALID_MIN_K: f64 = 60.0;
+
+/// Relative resistivity at the 77 K liquid-nitrogen point (1/6 of 300 K).
+const RHO_77K: f64 = 1.0 / 6.0;
+
+/// Linear slope fitted through (77 K, 1/6) and (300 K, 1).
+const SLOPE_PER_K: f64 = (1.0 - RHO_77K) / (300.0 - 77.0);
+
+/// Residual-resistivity floor for thin-film damascene copper, relative to
+/// the 300 K value. Real interconnect never reaches the bulk ideal because
+/// of grain-boundary and surface scattering.
+const RESIDUAL_FLOOR: f64 = 0.10;
+
+/// Returns the resistivity of copper interconnect at temperature
+/// `kelvin`, relative to its 300 K value.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_tech::copper_resistivity_ratio;
+///
+/// let r77 = copper_resistivity_ratio(77.0);
+/// assert!((r77 - 1.0 / 6.0).abs() < 1e-12);
+/// assert!((copper_resistivity_ratio(300.0) - 1.0).abs() < 1e-12);
+/// assert!(copper_resistivity_ratio(350.0) > 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `kelvin` is not finite and positive.
+#[must_use]
+pub fn copper_resistivity_ratio(kelvin: f64) -> f64 {
+    assert!(
+        kelvin.is_finite() && kelvin > 0.0,
+        "temperature must be finite and positive, got {kelvin}"
+    );
+    let linear = RHO_77K + SLOPE_PER_K * (kelvin - 77.0);
+    linear.max(RESIDUAL_FLOOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors() {
+        assert!((copper_resistivity_ratio(77.0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!((copper_resistivity_ratio(300.0) - 1.0).abs() < 1e-12);
+        // 350 K is ~19% more resistive than 300 K.
+        let r350 = copper_resistivity_ratio(350.0);
+        assert!(r350 > 1.15 && r350 < 1.25, "r350 = {r350}");
+    }
+
+    #[test]
+    fn monotone_above_floor() {
+        let mut prev = copper_resistivity_ratio(RESISTIVITY_VALID_MIN_K);
+        let mut t = RESISTIVITY_VALID_MIN_K + 5.0;
+        while t <= 400.0 {
+            let r = copper_resistivity_ratio(t);
+            assert!(r > prev, "resistivity not monotone at {t} K");
+            prev = r;
+            t += 5.0;
+        }
+    }
+
+    #[test]
+    fn residual_floor_below_valid_range() {
+        assert!(copper_resistivity_ratio(4.0) >= RESIDUAL_FLOOR);
+        assert!(copper_resistivity_ratio(20.0) >= RESIDUAL_FLOOR);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_nonpositive() {
+        let _ = copper_resistivity_ratio(0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Operating points and the cryogenic voltage-scaling policy.
+
+use coldtall_units::{Kelvin, Volts};
+
+use crate::constants::{CRYO_VDD_FACTOR, CRYO_VTH_TARGET};
+use crate::process::ProcessNode;
+
+/// The electrical conditions a circuit is evaluated under: temperature,
+/// supply voltage, and an optional threshold-voltage retarget.
+///
+/// CryoMEM's insight, reproduced here, is that cryogenic CMOS should be
+/// operated with *aggressive voltage scaling*: the threshold voltage,
+/// which naturally rises as the die cools, is re-targeted downwards
+/// (implant/body-bias adjusted), and the supply follows it down slightly.
+/// Leakage stays negligible because the thermal voltage `kT/q` collapsed,
+/// while the restored overdrive keeps the transistors fast.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_tech::{OperatingPoint, ProcessNode};
+/// use coldtall_units::Kelvin;
+///
+/// let node = ProcessNode::ptm_22nm_hp();
+/// let cryo = OperatingPoint::cryo_optimized(&node, Kelvin::LN2);
+/// assert!(cryo.vdd() < node.vdd_nominal());
+/// assert!(cryo.vth_override().is_some());
+///
+/// // Above the cryogenic regime the policy leaves everything nominal.
+/// let warm = OperatingPoint::cryo_optimized(&node, Kelvin::REFERENCE);
+/// assert_eq!(warm.vdd(), node.vdd_nominal());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    temperature: Kelvin,
+    vdd: Volts,
+    vth_override: Option<Volts>,
+}
+
+impl OperatingPoint {
+    /// An operating point at temperature `t` with the node's nominal
+    /// voltages (no cryogenic retargeting).
+    #[must_use]
+    pub fn nominal(node: &ProcessNode, t: Kelvin) -> Self {
+        Self {
+            temperature: t,
+            vdd: node.vdd_nominal(),
+            vth_override: None,
+        }
+    }
+
+    /// An operating point at temperature `t` with the cryogenic
+    /// voltage-scaling policy applied when `t` is in the cryogenic regime
+    /// (below ~150 K); identical to [`OperatingPoint::nominal`] otherwise.
+    #[must_use]
+    pub fn cryo_optimized(node: &ProcessNode, t: Kelvin) -> Self {
+        if t.is_cryogenic() {
+            Self {
+                temperature: t,
+                vdd: node.vdd_nominal() * CRYO_VDD_FACTOR,
+                vth_override: Some(Volts::new(CRYO_VTH_TARGET)),
+            }
+        } else {
+            Self::nominal(node, t)
+        }
+    }
+
+    /// An explicit operating point; for studies that sweep voltages
+    /// directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not strictly positive.
+    #[must_use]
+    pub fn custom(t: Kelvin, vdd: Volts, vth_override: Option<Volts>) -> Self {
+        assert!(vdd.get() > 0.0, "supply voltage must be positive");
+        Self {
+            temperature: t,
+            vdd,
+            vth_override,
+        }
+    }
+
+    /// Operating temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// Supply voltage.
+    #[must_use]
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// The retargeted base threshold voltage, if the cryogenic policy (or
+    /// a custom point) applied one.
+    #[must_use]
+    pub fn vth_override(&self) -> Option<Volts> {
+        self.vth_override
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cryo_policy_engages_only_below_150k() {
+        let node = ProcessNode::ptm_22nm_hp();
+        for t in [77.0, 100.0, 149.0] {
+            let op = OperatingPoint::cryo_optimized(&node, Kelvin::new(t));
+            assert!(op.vth_override().is_some(), "no override at {t} K");
+        }
+        for t in [150.0, 200.0, 300.0, 387.0] {
+            let op = OperatingPoint::cryo_optimized(&node, Kelvin::new(t));
+            assert!(op.vth_override().is_none(), "override at {t} K");
+            assert_eq!(op.vdd(), node.vdd_nominal());
+        }
+    }
+
+    #[test]
+    fn cryo_vdd_is_mildly_scaled() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let op = OperatingPoint::cryo_optimized(&node, Kelvin::LN2);
+        let ratio = op.vdd() / node.vdd_nominal();
+        assert!(ratio > 0.9 && ratio < 1.0, "vdd ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn custom_rejects_zero_vdd() {
+        let _ = OperatingPoint::custom(Kelvin::ROOM, Volts::new(0.0), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Interconnect wire models with temperature-dependent resistance.
+
+use coldtall_units::{Farads, Joules, Kelvin, Meters, Ohms, Seconds, Volts};
+
+use crate::process::ProcessNode;
+use crate::resistivity::copper_resistivity_ratio;
+
+/// Metal-layer class of a wire.
+///
+/// Memory arrays use local wiring inside subarrays (wordlines, bitlines),
+/// intermediate wiring between mats, and wide global wiring for the
+/// H-tree distribution network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireKind {
+    /// Minimum-pitch wiring inside a subarray.
+    Local,
+    /// Semi-global wiring between mats within a bank.
+    Intermediate,
+    /// Wide, thick top-metal wiring for cross-die distribution.
+    Global,
+}
+
+/// An interconnect wire model: resistance per length (temperature-scaled)
+/// and capacitance per length.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_tech::{ProcessNode, WireKind};
+/// use coldtall_units::{Kelvin, Meters};
+///
+/// let node = ProcessNode::ptm_22nm_hp();
+/// let wire = node.wire(WireKind::Global);
+/// let warm = wire.resistance(Meters::from_millis(1.0), Kelvin::ROOM);
+/// let cold = wire.resistance(Meters::from_millis(1.0), Kelvin::LN2);
+/// assert!((warm.get() / cold.get() - 6.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    kind: WireKind,
+    r_per_m_300k: Ohms,
+    c_per_m: Farads,
+}
+
+impl Wire {
+    /// Builds the wire model of the given class for a process node.
+    ///
+    /// The per-length parasitics are CACTI-like values for a 22 nm-class
+    /// metal stack, scaled by feature size for other nodes.
+    #[must_use]
+    pub fn for_node(node: &ProcessNode, kind: WireKind) -> Self {
+        let scale = 22.0 / node.feature_nm();
+        let (r_per_um_300k, c_ff_per_um) = match kind {
+            WireKind::Local => (6.0 * scale * scale, 0.18),
+            WireKind::Intermediate => (3.0 * scale * scale, 0.20),
+            WireKind::Global => (0.4 * scale * scale, 0.25),
+        };
+        Self {
+            kind,
+            r_per_m_300k: Ohms::new(r_per_um_300k * 1e6),
+            c_per_m: Farads::new(c_ff_per_um * 1e-15 * 1e6),
+        }
+    }
+
+    /// The metal-layer class of this wire.
+    #[must_use]
+    pub fn kind(&self) -> WireKind {
+        self.kind
+    }
+
+    /// Resistance per meter at the 300 K reference temperature.
+    #[must_use]
+    pub fn resistance_per_m_300k(&self) -> Ohms {
+        self.r_per_m_300k
+    }
+
+    /// Capacitance per meter (temperature-insensitive).
+    #[must_use]
+    pub fn capacitance_per_m(&self) -> Farads {
+        self.c_per_m
+    }
+
+    /// Total resistance of a wire of length `len` at temperature `t`.
+    #[must_use]
+    pub fn resistance(&self, len: Meters, t: Kelvin) -> Ohms {
+        self.r_per_m_300k * (len.get() * copper_resistivity_ratio(t.get()))
+    }
+
+    /// Total capacitance of a wire of length `len`.
+    #[must_use]
+    pub fn capacitance(&self, len: Meters) -> Farads {
+        self.c_per_m * len.get()
+    }
+
+    /// Elmore delay of an unrepeated distributed RC line of length `len`
+    /// driven by a source of resistance `r_drive` into a load `c_load`:
+    /// `R_d (C_w + C_l) + 0.38 R_w C_w + R_w C_l`.
+    #[must_use]
+    pub fn distributed_delay(
+        &self,
+        len: Meters,
+        t: Kelvin,
+        r_drive: Ohms,
+        c_load: Farads,
+    ) -> Seconds {
+        let rw = self.resistance(len, t).get();
+        let cw = self.capacitance(len).get();
+        let rd = r_drive.get();
+        let cl = c_load.get();
+        Seconds::new(rd * (cw + cl) + 0.38 * rw * cw + rw * cl)
+    }
+
+    /// Delay per meter of an optimally repeated wire at temperature `t`,
+    /// given the driving device's intrinsic RC product `device_rc`.
+    ///
+    /// Uses the classic `k sqrt(r c R0 C0)` optimal-repeater scaling; the
+    /// prefactor is calibrated to ~60 ps/mm for a 22 nm global wire at
+    /// 300 K.
+    #[must_use]
+    pub fn repeated_delay_per_m(&self, t: Kelvin, device_rc: Seconds) -> Seconds {
+        const K_REPEATER: f64 = 6.3;
+        let rw = self.r_per_m_300k.get() * copper_resistivity_ratio(t.get());
+        let cw = self.c_per_m.get();
+        Seconds::new(K_REPEATER * (rw * cw * device_rc.get()).sqrt())
+    }
+
+    /// Switching energy per meter of a repeated wire, including the
+    /// repeater loading overhead (~1.8x the bare wire capacitance).
+    #[must_use]
+    pub fn repeated_energy_per_m(&self, vdd: Volts) -> Joules {
+        const REPEATER_CAP_OVERHEAD: f64 = 1.8;
+        Joules::new(REPEATER_CAP_OVERHEAD * self.c_per_m.get() * vdd.get() * vdd.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn global() -> Wire {
+        ProcessNode::ptm_22nm_hp().wire(WireKind::Global)
+    }
+
+    #[test]
+    fn resistance_scales_with_length_and_temperature() {
+        let w = global();
+        let r1 = w.resistance(Meters::from_millis(1.0), Kelvin::ROOM);
+        let r2 = w.resistance(Meters::from_millis(2.0), Kelvin::ROOM);
+        assert!((r2.get() / r1.get() - 2.0).abs() < 1e-12);
+        let rc = w.resistance(Meters::from_millis(1.0), Kelvin::LN2);
+        assert!(r1.get() / rc.get() > 5.5);
+    }
+
+    #[test]
+    fn global_wire_delay_per_mm_is_tens_of_ps() {
+        let w = global();
+        let device_rc = Seconds::from_picos(0.9);
+        let d = w.repeated_delay_per_m(Kelvin::ROOM, device_rc);
+        let ps_per_mm = d.get() * 1e12 * 1e-3;
+        assert!(
+            ps_per_mm > 30.0 && ps_per_mm < 120.0,
+            "{ps_per_mm} ps/mm out of expected range"
+        );
+    }
+
+    #[test]
+    fn repeated_delay_improves_at_cryo() {
+        let w = global();
+        let device_rc = Seconds::from_picos(0.9);
+        let warm = w.repeated_delay_per_m(Kelvin::REFERENCE, device_rc);
+        let cold = w.repeated_delay_per_m(Kelvin::LN2, device_rc);
+        // Wire resistance improves ~8.4x from 350 K, so sqrt-law delay
+        // improves ~2.9x (device RC held constant here).
+        let ratio = warm / cold;
+        assert!(ratio > 2.0 && ratio < 4.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn distributed_delay_components() {
+        let w = global();
+        let d = w.distributed_delay(
+            Meters::from_micros(100.0),
+            Kelvin::ROOM,
+            Ohms::new(1000.0),
+            Farads::new(1e-15),
+        );
+        assert!(d.get() > 0.0 && d.get() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_m_scales_with_vdd_squared() {
+        let w = global();
+        let e1 = w.repeated_energy_per_m(Volts::new(0.8));
+        let e2 = w.repeated_energy_per_m(Volts::new(0.4));
+        assert!((e1.get() / e2.get() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_ordering() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let local = node.wire(WireKind::Local);
+        let inter = node.wire(WireKind::Intermediate);
+        let global = node.wire(WireKind::Global);
+        assert!(local.resistance_per_m_300k() > inter.resistance_per_m_300k());
+        assert!(inter.resistance_per_m_300k() > global.resistance_per_m_300k());
+    }
+}

@@ -1,0 +1,181 @@
+//! Memory capacity expressed in bits.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+/// A memory capacity, stored internally as a bit count.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_units::Capacity;
+///
+/// let llc = Capacity::from_mebibytes(16);
+/// assert_eq!(llc.bits(), 16 * 1024 * 1024 * 8);
+/// assert_eq!(llc.bytes(), 16 * 1024 * 1024);
+/// assert_eq!(format!("{llc}"), "16 MiB");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Capacity {
+    bits: u64,
+}
+
+impl Capacity {
+    /// A capacity of zero bits.
+    pub const ZERO: Self = Self { bits: 0 };
+
+    /// Creates a capacity from a bit count.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        Self { bits }
+    }
+
+    /// Creates a capacity from a byte count.
+    #[must_use]
+    pub fn from_bytes(bytes: u64) -> Self {
+        Self { bits: bytes * 8 }
+    }
+
+    /// Creates a capacity from kibibytes.
+    #[must_use]
+    pub fn from_kibibytes(kib: u64) -> Self {
+        Self::from_bytes(kib * 1024)
+    }
+
+    /// Creates a capacity from mebibytes.
+    #[must_use]
+    pub fn from_mebibytes(mib: u64) -> Self {
+        Self::from_kibibytes(mib * 1024)
+    }
+
+    /// Returns the capacity in bits.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Returns the capacity in whole bytes (truncating any partial byte).
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        self.bits / 8
+    }
+
+    /// Returns the capacity in bits as a floating-point number, for use in
+    /// analytical models.
+    #[must_use]
+    pub fn bits_f64(self) -> f64 {
+        self.bits as f64
+    }
+
+    /// Returns true if the bit count is a power of two.
+    #[must_use]
+    pub fn is_power_of_two(self) -> bool {
+        self.bits.is_power_of_two()
+    }
+}
+
+impl Add for Capacity {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            bits: self.bits + rhs.bits,
+        }
+    }
+}
+
+impl Sub for Capacity {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow, like integer subtraction.
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            bits: self.bits - rhs.bits,
+        }
+    }
+}
+
+impl Mul<u64> for Capacity {
+    type Output = Self;
+    fn mul(self, rhs: u64) -> Self {
+        Self {
+            bits: self.bits * rhs,
+        }
+    }
+}
+
+impl Div<u64> for Capacity {
+    type Output = Self;
+    fn div(self, rhs: u64) -> Self {
+        Self {
+            bits: self.bits / rhs,
+        }
+    }
+}
+
+impl Div for Capacity {
+    type Output = u64;
+    /// Dividing two capacities yields a dimensionless count.
+    fn div(self, rhs: Self) -> u64 {
+        self.bits / rhs.bits
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bytes = self.bits as f64 / 8.0;
+        const UNITS: [(&str, f64); 4] = [
+            ("GiB", 1024.0 * 1024.0 * 1024.0),
+            ("MiB", 1024.0 * 1024.0),
+            ("KiB", 1024.0),
+            ("B", 1.0),
+        ];
+        for (unit, scale) in UNITS {
+            if bytes >= scale {
+                let v = bytes / scale;
+                if (v - v.round()).abs() < 1e-9 {
+                    return write!(f, "{} {unit}", v.round());
+                }
+                return write!(f, "{v:.2} {unit}");
+            }
+        }
+        write!(f, "{} b", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Capacity::from_kibibytes(32).bytes(), 32768);
+        assert_eq!(Capacity::from_mebibytes(1).bits(), 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Capacity::from_bytes(64);
+        let b = Capacity::from_bytes(16);
+        assert_eq!((a + b).bytes(), 80);
+        assert_eq!((a - b).bytes(), 48);
+        assert_eq!((a * 2).bytes(), 128);
+        assert_eq!((a / 2).bytes(), 32);
+        assert_eq!(a / b, 4);
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(Capacity::from_mebibytes(16).is_power_of_two());
+        assert!(!Capacity::from_bytes(48).is_power_of_two());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(format!("{}", Capacity::from_mebibytes(16)), "16 MiB");
+        assert_eq!(format!("{}", Capacity::from_kibibytes(512)), "512 KiB");
+        assert_eq!(format!("{}", Capacity::from_bytes(3)), "3 B");
+        assert_eq!(format!("{}", Capacity::from_bits(4)), "4 b");
+        assert_eq!(format!("{}", Capacity::from_bytes(1536)), "1.50 KiB");
+    }
+}

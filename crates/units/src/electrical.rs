@@ -1,0 +1,176 @@
+//! Cross-quantity arithmetic between electrical quantities.
+//!
+//! Only physically meaningful products and ratios are defined; anything
+//! else remains a compile error, which is the point of the newtypes.
+
+use core::ops::{Div, Mul};
+
+use crate::{Amps, Coulombs, Farads, Hertz, Joules, Ohms, Seconds, Volts, Watts};
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Power is energy per unit time.
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Energy is power integrated over time.
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    /// An RC product is a time constant.
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    fn mul(self, rhs: Ohms) -> Seconds {
+        rhs * self
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// Electrical power is voltage times current.
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    /// Ohm's law: current is voltage over resistance.
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    /// Ohm's law: resistance is voltage over current.
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    /// Charge is current integrated over time.
+    fn mul(self, rhs: Seconds) -> Coulombs {
+        Coulombs::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Volts> for Coulombs {
+    type Output = Joules;
+    /// Energy is charge times potential.
+    fn mul(self, rhs: Volts) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    /// Charge stored on a capacitor: Q = C V.
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs::new(self.get() * rhs.get())
+    }
+}
+
+impl Div<Seconds> for f64 {
+    type Output = Hertz;
+    /// A dimensionless count per time is a rate.
+    fn div(self, rhs: Seconds) -> Hertz {
+        Hertz::new(self / rhs.get())
+    }
+}
+
+/// Energy required to swing a capacitance `c` across a voltage `v`
+/// (the CMOS switching energy `C * V^2`).
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_units::{switching_energy, Farads, Volts};
+/// let e = switching_energy(Farads::new(1e-15), Volts::new(1.0));
+/// assert!((e.get() - 1e-15).abs() < 1e-30);
+/// ```
+#[must_use]
+pub fn switching_energy(c: Farads, v: Volts) -> Joules {
+    Joules::new(c.get() * v.get() * v.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_energy_time_triangle() {
+        let e = Joules::new(6.0);
+        let t = Seconds::new(2.0);
+        let p = e / t;
+        assert_eq!(p.get(), 3.0);
+        assert_eq!((p * t).get(), 6.0);
+        assert_eq!((t * p).get(), 6.0);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohms::new(1e3) * Farads::new(1e-12);
+        assert!((tau.as_nanos() - 1.0).abs() < 1e-12);
+        assert_eq!(Farads::new(1e-12) * Ohms::new(1e3), tau);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let i = Volts::new(1.0) / Ohms::new(500.0);
+        assert_eq!(i.get(), 0.002);
+        let r = Volts::new(1.0) / Amps::new(0.002);
+        assert!((r.get() - 500.0).abs() < 1e-9);
+        assert_eq!((Volts::new(2.0) * Amps::new(3.0)).get(), 6.0);
+        assert_eq!((Amps::new(3.0) * Volts::new(2.0)).get(), 6.0);
+    }
+
+    #[test]
+    fn charge_relations() {
+        let q = Amps::new(2.0) * Seconds::new(3.0);
+        assert_eq!(q.get(), 6.0);
+        assert_eq!((q * Volts::new(0.5)).get(), 3.0);
+        assert_eq!((Farads::new(2.0) * Volts::new(0.5)).get(), 1.0);
+    }
+
+    #[test]
+    fn rate_from_count() {
+        let rate = 100.0 / Seconds::new(2.0);
+        assert_eq!(rate.get(), 50.0);
+    }
+
+    #[test]
+    fn switching_energy_is_cv2() {
+        let e = switching_energy(Farads::new(2e-15), Volts::new(0.8));
+        assert!((e.get() - 2e-15 * 0.64).abs() < 1e-30);
+    }
+}

@@ -1,0 +1,77 @@
+//! Engineering-notation formatting shared by all quantity types.
+
+/// SI prefixes from yocto (1e-24) to yotta (1e24), in ascending order.
+const PREFIXES: [(&str, f64); 17] = [
+    ("y", 1e-24),
+    ("z", 1e-21),
+    ("a", 1e-18),
+    ("f", 1e-15),
+    ("p", 1e-12),
+    ("n", 1e-9),
+    ("u", 1e-6),
+    ("m", 1e-3),
+    ("", 1.0),
+    ("k", 1e3),
+    ("M", 1e6),
+    ("G", 1e9),
+    ("T", 1e12),
+    ("P", 1e15),
+    ("E", 1e18),
+    ("Z", 1e21),
+    ("Y", 1e24),
+];
+
+/// Scales `value` into the engineering range `[1, 1000)` and returns the
+/// scaled value together with the matching SI prefix.
+///
+/// Zero, infinities, and NaN are returned unscaled with an empty prefix.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_units::engineering;
+///
+/// assert_eq!(engineering(1.5e-9), (1.5, "n"));
+/// assert_eq!(engineering(-2.0e6), (-2.0, "M"));
+/// assert_eq!(engineering(0.0), (0.0, ""));
+/// ```
+#[must_use]
+pub fn engineering(value: f64) -> (f64, &'static str) {
+    if value == 0.0 || !value.is_finite() {
+        return (value, "");
+    }
+    let magnitude = value.abs();
+    for &(prefix, scale) in PREFIXES.iter().rev() {
+        if magnitude >= scale {
+            return (value / scale, prefix);
+        }
+    }
+    // Below yocto: report in yocto anyway.
+    (value / 1e-24, "y")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_nearest_lower_prefix() {
+        assert_eq!(engineering(999.0), (999.0, ""));
+        assert_eq!(engineering(1000.0), (1.0, "k"));
+        assert_eq!(engineering(0.12), (120.0, "m"));
+    }
+
+    #[test]
+    fn handles_negative_values() {
+        let (v, p) = engineering(-3.3e-6);
+        assert!((v - -3.3).abs() < 1e-12);
+        assert_eq!(p, "u");
+    }
+
+    #[test]
+    fn handles_extremes() {
+        assert_eq!(engineering(2.0e27).1, "Y");
+        assert_eq!(engineering(1.0e-27).1, "y");
+        assert_eq!(engineering(f64::INFINITY), (f64::INFINITY, ""));
+    }
+}

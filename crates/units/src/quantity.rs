@@ -1,0 +1,164 @@
+//! The `quantity!` macro: generates an `f64`-backed physical-quantity
+//! newtype with arithmetic, ordering, and engineering-notation display.
+
+/// Defines a physical-quantity newtype over `f64`.
+///
+/// The generated type supports construction via [`new`](#method.new),
+/// extraction via `get`, addition and subtraction with itself, scaling by
+/// `f64`, division by itself (yielding a dimensionless `f64` ratio), and
+/// engineering-notation `Display` using the given unit symbol.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Unit symbol used by the `Display` implementation.
+            pub const UNIT: &'static str = $unit;
+
+            /// Creates a quantity from a raw value in base SI units.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN: quantities must always be
+            /// comparable.
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                assert!(!value.is_nan(), concat!(stringify!($name), " cannot be NaN"));
+                Self(value)
+            }
+
+            /// Returns the raw value in base SI units.
+            #[must_use]
+            pub fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (not infinite).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                let (scaled, prefix) = $crate::format::engineering(self.0);
+                write!(f, "{scaled:.3} {prefix}{}", $unit)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    quantity!(
+        /// Test-only quantity.
+        Things,
+        "thing"
+    );
+
+    #[test]
+    fn arithmetic() {
+        let a = Things::new(2.0);
+        let b = Things::new(3.0);
+        assert_eq!((a + b).get(), 5.0);
+        assert_eq!((b - a).get(), 1.0);
+        assert_eq!((a * 2.0).get(), 4.0);
+        assert_eq!((2.0 * a).get(), 4.0);
+        assert_eq!((b / 2.0).get(), 1.5);
+        assert_eq!(b / a, 1.5);
+    }
+
+    #[test]
+    fn ordering_and_extrema() {
+        let a = Things::new(2.0);
+        let b = Things::new(3.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let total: Things = (1..=4).map(|i| Things::new(f64::from(i))).sum();
+        assert_eq!(total.get(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be NaN")]
+    fn nan_rejected() {
+        let _ = Things::new(f64::NAN);
+    }
+}

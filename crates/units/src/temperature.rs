@@ -1,0 +1,116 @@
+//! Absolute temperature.
+
+use core::fmt;
+
+/// An absolute temperature in kelvin.
+///
+/// Temperatures are the central design knob of the cryogenic study; the
+/// type guarantees the value is strictly positive and finite so device
+/// models never divide by zero thermal voltage.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_units::Kelvin;
+///
+/// let cryo = Kelvin::new(77.0);
+/// let room = Kelvin::new(300.0);
+/// assert!(cryo < room);
+/// assert!((cryo.thermal_voltage() - 0.006636).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Liquid-nitrogen operating point used throughout the paper.
+    pub const LN2: Self = Self(77.0);
+    /// Conventional room temperature.
+    pub const ROOM: Self = Self(300.0);
+    /// The paper's reference operating point for the baseline SRAM.
+    pub const REFERENCE: Self = Self(350.0);
+    /// Approximate CPU thermal-design-point temperature (hot corner).
+    pub const TDP: Self = Self(387.0);
+
+    /// Boltzmann constant over elementary charge, in volts per kelvin.
+    const KB_OVER_Q: f64 = 8.617_333e-5;
+
+    /// Creates a temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is not a finite, strictly positive number.
+    #[must_use]
+    pub fn new(kelvin: f64) -> Self {
+        assert!(
+            kelvin.is_finite() && kelvin > 0.0,
+            "temperature must be finite and positive, got {kelvin}"
+        );
+        Self(kelvin)
+    }
+
+    /// Returns the temperature in kelvin.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the thermal voltage `kT/q` in volts.
+    #[must_use]
+    pub fn thermal_voltage(self) -> f64 {
+        Self::KB_OVER_Q * self.0
+    }
+
+    /// Returns `true` for temperatures in the CMOS-compatible cryogenic
+    /// regime (below roughly 150 K) where the cryo voltage-scaling policy
+    /// applies.
+    #[must_use]
+    pub fn is_cryogenic(self) -> bool {
+        self.0 < 150.0
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} K", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_room() {
+        assert!((Kelvin::ROOM.thermal_voltage() - 0.025852).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cryogenic_classification() {
+        assert!(Kelvin::LN2.is_cryogenic());
+        assert!(!Kelvin::ROOM.is_cryogenic());
+        assert!(!Kelvin::REFERENCE.is_cryogenic());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Kelvin::LN2 < Kelvin::ROOM);
+        assert!(Kelvin::REFERENCE < Kelvin::TDP);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Kelvin::LN2), "77 K");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn zero_rejected() {
+        let _ = Kelvin::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn nan_rejected() {
+        let _ = Kelvin::new(f64::NAN);
+    }
+}

@@ -1,0 +1,45 @@
+//! SPEC CPU2017-like workloads: calibrated LLC traffic profiles and
+//! synthetic address-stream generators.
+//!
+//! The paper drives its design-space exploration with the LLC read/write
+//! accesses-per-second of the full SPECrate CPU2017 suite, measured with
+//! Sniper on the Table I CPU. SPEC binaries and reference inputs are
+//! licensed artifacts we cannot ship, so this crate substitutes two
+//! coupled models (see `DESIGN.md` section 3):
+//!
+//! 1. a **calibrated traffic table** ([`spec2017`]): per-benchmark LLC
+//!    read/write rates landing in the bands the paper reports (povray
+//!    below 1e4 reads/s at the quiet end; mcf above 1e8 with the lowest
+//!    write share; lbm write-heavy; namd as the Fig. 1 reference), and
+//! 2. a **synthetic address-stream generator** ([`AccessGenerator`])
+//!    per benchmark, whose working-set and locality parameters
+//!    reproduce the same traffic class when simulated through
+//!    [`coldtall_cachesim`] ([`simulate_traffic`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use coldtall_workloads::{benchmark, spec2017};
+//!
+//! let suite = spec2017();
+//! assert_eq!(suite.len(), 23);
+//! let povray = benchmark("povray").unwrap();
+//! assert!(povray.traffic.reads_per_sec < 1e4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod accelerator;
+mod generator;
+mod profile;
+mod simulate;
+mod suite;
+mod windows;
+
+pub use accelerator::{accelerator_profile, accelerator_profiles};
+pub use generator::{AccessGenerator, GeneratorParams};
+pub use profile::{Benchmark, Suite, TrafficBand};
+pub use simulate::simulate_traffic;
+pub use suite::{benchmark, spec2017};
+pub use windows::windowed_traffic;

@@ -1,0 +1,79 @@
+//! Technology shootout: rank every configuration of the study for one
+//! workload under each design target.
+//!
+//! ```sh
+//! cargo run --release --example llc_technology_shootout [benchmark]
+//! ```
+//!
+//! Defaults to `mcf` (the paper's high-traffic extreme); pass any
+//! SPECrate 2017 name, e.g. `povray` to watch the cryogenic options take
+//! over at low traffic.
+
+use coldtall::core::report::{sci, TextTable};
+use coldtall::core::{Explorer, LlcEvaluation, MemoryConfig};
+use coldtall::workloads::{benchmark, spec2017};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let Some(bench) = benchmark(&name) else {
+        eprintln!("unknown benchmark '{name}'; choose one of:");
+        for b in spec2017() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    };
+
+    let explorer = Explorer::with_defaults();
+    let mut evals: Vec<LlcEvaluation> = MemoryConfig::study_set()
+        .iter()
+        .map(|c| explorer.evaluate(c, bench))
+        .collect();
+    evals.sort_by(|a, b| a.relative_power.total_cmp(&b.relative_power));
+
+    println!(
+        "LLC technology shootout on {} ({:.2e} reads/s, {:.2e} writes/s)\n",
+        bench.name, bench.traffic.reads_per_sec, bench.traffic.writes_per_sec
+    );
+    let mut table = TextTable::new(&[
+        "rank",
+        "configuration",
+        "rel_power",
+        "rel_latency",
+        "area_mm2",
+        "lifetime_years",
+        "verdict",
+    ]);
+    for (i, e) in evals.iter().enumerate() {
+        let verdict = if e.relative_latency.is_infinite() {
+            "infeasible (refresh)"
+        } else if e.slowdown {
+            "slows CPU"
+        } else if !e.meets_lifetime_target() {
+            "wears out"
+        } else {
+            "ok"
+        };
+        table.row_owned(vec![
+            (i + 1).to_string(),
+            e.config_label.clone(),
+            sci(e.relative_power),
+            sci(e.relative_latency),
+            format!("{:.2}", e.footprint_mm2),
+            sci(e.lifetime_years),
+            verdict.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let viable = evals
+        .iter()
+        .find(|e| !e.slowdown && e.meets_lifetime_target());
+    match viable {
+        Some(e) => println!(
+            "\nLowest-power viable choice: {} ({:.1}x below the 350K SRAM reference)",
+            e.config_label,
+            1.0 / e.relative_power
+        ),
+        None => println!("\nNo configuration is viable for this workload."),
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: characterize one LLC design point and evaluate it under
+//! a workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use coldtall::core::{Explorer, MemoryConfig};
+use coldtall::workloads::benchmark;
+
+fn main() {
+    // The explorer owns the 22 nm technology models, the 350 K SRAM
+    // baseline, and the namd-referenced normalization (as in the paper).
+    let explorer = Explorer::with_defaults();
+
+    // Characterize the paper's headline cryogenic option: a 16 MiB
+    // 3T-eDRAM LLC operated at 77 K under the cryo voltage policy.
+    let config = MemoryConfig::edram_77k();
+    let array = explorer.characterize(&config);
+    println!("== {} array characterization ==", config.label());
+    println!("  organization     : {} subarrays", array.organization);
+    println!("  read latency     : {}", array.read_latency);
+    println!("  write latency    : {}", array.write_latency);
+    println!("  read energy/bit  : {}", array.read_energy_per_bit());
+    println!("  leakage power    : {}", array.leakage_power);
+    println!("  refresh power    : {}", array.refresh_power);
+    println!("  footprint        : {:.2} mm^2", array.footprint.as_mm2());
+    if let Some(retention) = array.retention {
+        println!("  retention        : {retention}");
+    }
+
+    // Evaluate it under a real workload's LLC traffic and compare with
+    // the room-temperature SRAM baseline.
+    let namd = benchmark("namd").expect("namd is in the suite");
+    let eval = explorer.evaluate(&config, namd);
+    let baseline = explorer.evaluate(&MemoryConfig::sram_350k(), namd);
+    println!("\n== running {} ==", namd.name);
+    println!(
+        "  traffic               : {:.2e} reads/s, {:.2e} writes/s",
+        namd.traffic.reads_per_sec, namd.traffic.writes_per_sec
+    );
+    println!("  wall power (cooled)   : {}", eval.wall_power);
+    println!("  baseline wall power   : {}", baseline.wall_power);
+    println!(
+        "  power vs 350K SRAM    : {:.2}x lower",
+        baseline.wall_power / eval.wall_power
+    );
+    println!(
+        "  latency vs 350K SRAM  : {:.2}x lower",
+        1.0 / eval.relative_latency
+    );
+    println!(
+        "  slows the CPU down?   : {}",
+        if eval.slowdown { "yes" } else { "no" }
+    );
+}

@@ -1,0 +1,219 @@
+//! The `coldtall` command-line tool: characterize, evaluate, and
+//! recommend LLC design points without writing code.
+//!
+//! ```sh
+//! coldtall list
+//! coldtall characterize --tech pcm --tentpole optimistic --dies 8
+//! coldtall evaluate --bench namd --tech edram --temp 77
+//! coldtall recommend --bench mcf --max-area 5
+//! coldtall table2
+//! ```
+
+use std::process::ExitCode;
+
+use coldtall::cell::{MemoryTechnology, Tentpole};
+use coldtall::core::report::{sci, TextTable};
+use coldtall::core::{selection, Constraints, Explorer, MemoryConfig};
+use coldtall::units::Kelvin;
+use coldtall::workloads::{benchmark, spec2017};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "characterize" => cmd_characterize(&args[1..]),
+        "evaluate" => cmd_evaluate(&args[1..]),
+        "recommend" => cmd_recommend(&args[1..]),
+        "table2" => cmd_table2(),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `coldtall help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "coldtall — design-space exploration of cryogenic and 3D embedded cache memory\n\
+         \n\
+         USAGE:\n  coldtall <command> [options]\n\
+         \n\
+         COMMANDS:\n\
+         \x20 list            benchmarks and configurations\n\
+         \x20 characterize    array characteristics of one design point\n\
+         \x20 evaluate        a design point under one benchmark's traffic\n\
+         \x20 recommend       lowest-power viable choice for a benchmark\n\
+         \x20 table2          the optimal-LLC summary table\n\
+         \n\
+         DESIGN-POINT OPTIONS:\n\
+         \x20 --tech <sram|edram|pcm|stt|rram>   technology (default sram)\n\
+         \x20 --tentpole <optimistic|pessimistic> eNVM tentpole (default optimistic)\n\
+         \x20 --dies <1|2|4|8>                   stacked dies (default 1)\n\
+         \x20 --temp <kelvin>                    operating temperature (default 350)\n\
+         \n\
+         OTHER OPTIONS:\n\
+         \x20 --bench <name>                     benchmark (default namd)\n\
+         \x20 --max-area <mm2>                   area constraint for recommend"
+    );
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_config(args: &[String]) -> Result<MemoryConfig, String> {
+    let tech = match flag(args, "--tech").as_deref().unwrap_or("sram") {
+        "sram" => MemoryTechnology::Sram,
+        "edram" | "3t-edram" => MemoryTechnology::Edram3T,
+        "pcm" => MemoryTechnology::Pcm,
+        "stt" | "stt-ram" => MemoryTechnology::SttRam,
+        "rram" => MemoryTechnology::Rram,
+        other => return Err(format!("unknown technology '{other}'")),
+    };
+    let tentpole = match flag(args, "--tentpole").as_deref().unwrap_or("optimistic") {
+        "optimistic" | "opt" => Tentpole::Optimistic,
+        "pessimistic" | "pess" => Tentpole::Pessimistic,
+        other => return Err(format!("unknown tentpole '{other}'")),
+    };
+    let dies: u8 = flag(args, "--dies")
+        .as_deref()
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --dies value".to_string())?;
+    if !matches!(dies, 1 | 2 | 4 | 8) {
+        return Err("--dies must be 1, 2, 4, or 8".into());
+    }
+    let temp: f64 = flag(args, "--temp")
+        .as_deref()
+        .unwrap_or("350")
+        .parse()
+        .map_err(|_| "bad --temp value".to_string())?;
+    if !(60.0..=400.0).contains(&temp) {
+        return Err("--temp must be between 60 and 400 kelvin".into());
+    }
+    let config = if tech.is_nonvolatile() {
+        MemoryConfig::envm_3d(tech, tentpole, dies).at_temperature(Kelvin::new(temp))
+    } else if dies == 1 {
+        MemoryConfig::volatile_2d(tech, Kelvin::new(temp))
+    } else {
+        return Err("stacked volatile configs: use --tech sram --dies N at 350K only".into());
+    };
+    Ok(config)
+}
+
+fn parse_benchmark(args: &[String]) -> Result<&'static coldtall::workloads::Benchmark, String> {
+    let name = flag(args, "--bench").unwrap_or_else(|| "namd".to_string());
+    benchmark(&name).ok_or_else(|| format!("unknown benchmark '{name}'"))
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut table = TextTable::new(&["benchmark", "suite", "reads_per_s", "writes_per_s", "band"]);
+    for b in spec2017() {
+        table.row_owned(vec![
+            b.name.to_string(),
+            b.suite.to_string(),
+            sci(b.traffic.reads_per_sec),
+            sci(b.traffic.writes_per_sec),
+            b.traffic_band().to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nconfigurations ({}):", MemoryConfig::study_set().len());
+    for c in MemoryConfig::study_set() {
+        println!("  {}", c.label());
+    }
+    Ok(())
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let config = parse_config(args)?;
+    let explorer = Explorer::with_defaults();
+    let a = explorer.characterize(&config);
+    println!("{}:", config.label());
+    println!("  organization      : {} subarrays x {} dies", a.organization, a.dies);
+    println!("  read latency      : {}", a.read_latency);
+    println!("  write latency     : {}", a.write_latency);
+    println!("  read energy/bit   : {}", a.read_energy_per_bit());
+    println!("  write energy/bit  : {}", a.write_energy_per_bit());
+    println!("  leakage power     : {}", a.leakage_power);
+    println!("  refresh power     : {}", a.refresh_power);
+    println!("  footprint         : {:.3} mm^2", a.footprint.as_mm2());
+    println!("  array efficiency  : {:.2}", a.array_efficiency);
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let config = parse_config(args)?;
+    let bench = parse_benchmark(args)?;
+    let explorer = Explorer::with_defaults();
+    let e = explorer.evaluate(&config, bench);
+    println!("{} running {}:", e.config_label, e.benchmark);
+    println!("  device power        : {}", e.device_power);
+    println!("  wall power (cooled) : {}", e.wall_power);
+    println!("  relative power      : {}", sci(e.relative_power));
+    println!("  relative latency    : {}", sci(e.relative_latency));
+    println!("  bandwidth use       : {}", sci(e.bandwidth_utilization));
+    println!("  lifetime            : {} years", sci(e.lifetime_years));
+    println!("  verdict             : {}", if e.slowdown { "slows the CPU" } else { "viable" });
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String]) -> Result<(), String> {
+    let bench = parse_benchmark(args)?;
+    let mut constraints = Constraints::default();
+    if let Some(area) = flag(args, "--max-area") {
+        constraints.max_area_mm2 =
+            Some(area.parse().map_err(|_| "bad --max-area value".to_string())?);
+    }
+    let explorer = Explorer::with_defaults();
+    let evals: Vec<_> = MemoryConfig::study_set()
+        .iter()
+        .map(|c| explorer.evaluate(c, bench))
+        .collect();
+    match coldtall::core::recommend(&evals, &constraints) {
+        Some(pick) => {
+            println!(
+                "{}: {} ({}x below the 350K SRAM reference, {:.2} mm^2)",
+                bench.name,
+                pick.config_label,
+                sci(1.0 / pick.relative_power),
+                pick.footprint_mm2
+            );
+            Ok(())
+        }
+        None => Err("no configuration satisfies the constraints".into()),
+    }
+}
+
+fn cmd_table2() -> Result<(), String> {
+    let explorer = Explorer::with_defaults();
+    let rows = selection::table2(&explorer);
+    let mut table = TextTable::new(&["band", "power", "power_alt", "performance", "area"]);
+    for row in rows {
+        table.row_owned(vec![
+            row.band.label().to_string(),
+            row.power.label,
+            row.power.alternate.unwrap_or_else(|| "-".into()),
+            row.performance.label,
+            row.area.label,
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Integration tests of the `coldtall` command-line tool.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_coldtall"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let (ok, out, _err) = run(&[]);
+    assert!(!ok);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, out, _) = run(&["help"]);
+    assert!(ok);
+    assert!(out.contains("characterize"));
+}
+
+#[test]
+fn list_shows_suite_and_configs() {
+    let (ok, out, _) = run(&["list"]);
+    assert!(ok);
+    assert!(out.contains("mcf"));
+    assert!(out.contains("povray"));
+    assert!(out.contains("77K 3T-eDRAM"));
+}
+
+#[test]
+fn characterize_cryo_edram() {
+    let (ok, out, _) = run(&["characterize", "--tech", "edram", "--temp", "77"]);
+    assert!(ok);
+    assert!(out.contains("77K 3T-eDRAM"));
+    assert!(out.contains("read latency"));
+}
+
+#[test]
+fn evaluate_stacked_pcm_on_mcf() {
+    let (ok, out, _) = run(&[
+        "evaluate", "--bench", "mcf", "--tech", "pcm", "--dies", "8",
+    ]);
+    assert!(ok);
+    assert!(out.contains("8-die PCM"));
+    assert!(out.contains("viable"));
+}
+
+#[test]
+fn recommend_quiet_workload_goes_cryogenic() {
+    let (ok, out, _) = run(&["recommend", "--bench", "povray"]);
+    assert!(ok);
+    assert!(out.contains("77K"), "povray recommendation: {out}");
+}
+
+#[test]
+fn table2_prints_three_bands() {
+    let (ok, out, _) = run(&["table2"]);
+    assert!(ok);
+    assert!(out.contains("<5e4"));
+    assert!(out.contains(">8e6"));
+}
+
+#[test]
+fn bad_inputs_are_reported() {
+    let (ok, _, err) = run(&["evaluate", "--bench", "doom"]);
+    assert!(!ok);
+    assert!(err.contains("unknown benchmark"));
+
+    let (ok, _, err) = run(&["characterize", "--tech", "flash"]);
+    assert!(!ok);
+    assert!(err.contains("unknown technology"));
+
+    let (ok, _, err) = run(&["characterize", "--dies", "3", "--tech", "pcm"]);
+    assert!(!ok);
+    assert!(err.contains("--dies"));
+
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}

@@ -1,0 +1,193 @@
+//! Property-based invariants across the stack (proptest).
+
+use proptest::prelude::*;
+
+use coldtall::array::{ArraySpec, Objective};
+use coldtall::cachesim::{CacheConfig, SetAssociativeCache};
+use coldtall::cell::{CellModel, MemoryTechnology, Tentpole};
+use coldtall::cryo::CoolingSystem;
+use coldtall::tech::{copper_resistivity_ratio, Mosfet, OperatingPoint, ProcessNode};
+use coldtall::units::{Capacity, Kelvin, Watts};
+
+fn node() -> ProcessNode {
+    ProcessNode::ptm_22nm_hp()
+}
+
+fn any_tech() -> impl Strategy<Value = MemoryTechnology> {
+    prop_oneof![
+        Just(MemoryTechnology::Sram),
+        Just(MemoryTechnology::Edram3T),
+        Just(MemoryTechnology::Pcm),
+        Just(MemoryTechnology::SttRam),
+        Just(MemoryTechnology::Rram),
+    ]
+}
+
+fn any_tentpole() -> impl Strategy<Value = Tentpole> {
+    prop_oneof![Just(Tentpole::Optimistic), Just(Tentpole::Pessimistic)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn resistivity_monotone_and_positive(t in 60.0f64..400.0, dt in 1.0f64..50.0) {
+        let lo = copper_resistivity_ratio(t);
+        let hi = copper_resistivity_ratio(t + dt);
+        prop_assert!(lo > 0.0);
+        prop_assert!(hi >= lo);
+    }
+
+    #[test]
+    fn device_leakage_monotone_in_temperature(t in 77.0f64..380.0, dt in 2.0f64..20.0) {
+        let n = node();
+        let dev = Mosfet::nmos(&n);
+        let cold = dev.leakage_current_per_um(&OperatingPoint::nominal(&n, Kelvin::new(t)));
+        let warm = dev.leakage_current_per_um(&OperatingPoint::nominal(&n, Kelvin::new(t + dt)));
+        prop_assert!(warm.get() >= cold.get());
+    }
+
+    #[test]
+    fn cell_leakage_never_negative(tech in any_tech(), tentpole in any_tentpole(), t in 77.0f64..400.0) {
+        let n = node();
+        let cell = CellModel::tentpole(tech, tentpole, &n);
+        let op = OperatingPoint::cryo_optimized(&n, Kelvin::new(t));
+        prop_assert!(cell.leakage_power(&n, &op).get() >= 0.0);
+    }
+
+    #[test]
+    fn array_metrics_positive_for_any_study_point(
+        tech in any_tech(),
+        tentpole in any_tentpole(),
+        dies_idx in 0usize..4,
+        t in 77.0f64..390.0,
+    ) {
+        let dies = [1u8, 2, 4, 8][dies_idx];
+        let n = node();
+        let cell = CellModel::tentpole(tech, tentpole, &n);
+        let mut spec = ArraySpec::llc_16mib(cell, &n);
+        if dies > 1 {
+            spec = spec.with_dies(dies);
+        }
+        let a = spec
+            .at_temperature_cryo(Kelvin::new(t))
+            .characterize(Objective::EnergyDelayProduct);
+        prop_assert!(a.read_latency.get() > 0.0);
+        prop_assert!(a.write_latency.get() > 0.0);
+        prop_assert!(a.read_energy.get() > 0.0);
+        prop_assert!(a.write_energy.get() > 0.0);
+        prop_assert!(a.leakage_power.get() >= 0.0);
+        prop_assert!(a.footprint.get() > 0.0);
+        prop_assert!(a.array_efficiency > 0.0 && a.array_efficiency < 1.0);
+        prop_assert!(a.write_energy >= a.read_energy * 0.5);
+    }
+
+    #[test]
+    fn area_monotone_in_capacity(mib_small in 1u64..8, factor in 2u64..4) {
+        let n = node();
+        let small = ArraySpec::new(
+            CellModel::sram(&n), &n, Capacity::from_mebibytes(mib_small),
+        ).characterize(Objective::EnergyDelayProduct);
+        let large = ArraySpec::new(
+            CellModel::sram(&n), &n, Capacity::from_mebibytes(mib_small * factor),
+        ).characterize(Objective::EnergyDelayProduct);
+        prop_assert!(large.footprint.get() > small.footprint.get());
+        prop_assert!(large.leakage_power.get() > small.leakage_power.get());
+    }
+
+    #[test]
+    fn stacking_never_grows_the_footprint(tech in any_tech(), tentpole in any_tentpole()) {
+        let n = node();
+        let cell = CellModel::tentpole(tech, tentpole, &n);
+        let one = ArraySpec::llc_16mib(cell.clone(), &n)
+            .characterize(Objective::EnergyDelayProduct);
+        let eight = ArraySpec::llc_16mib(cell, &n)
+            .with_dies(8)
+            .characterize(Objective::EnergyDelayProduct);
+        prop_assert!(eight.footprint.get() <= one.footprint.get());
+    }
+
+    #[test]
+    fn cooling_overhead_is_carnot_shaped(p in 0.0f64..100.0, t in 60.0f64..400.0) {
+        let power = Watts::new(p);
+        for cooling in CoolingSystem::ALL {
+            let wall = cooling.wall_power(power, Kelvin::new(t));
+            prop_assert!(wall.get() >= p);
+            if t >= 300.0 {
+                prop_assert!((wall.get() - p).abs() < 1e-12);
+            }
+            if t <= 77.0 && p > 0.0 {
+                prop_assert!(wall.get() >= p * (1.0 + cooling.overhead_factor()));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_after_fill_regardless_of_geometry(
+        ways_pow in 0u32..4,
+        sets_pow in 2u32..6,
+        addr in 0u64..1_000_000_000,
+    ) {
+        let ways = 1u32 << ways_pow;
+        let sets = 1u64 << sets_pow;
+        let capacity = Capacity::from_bytes(sets * u64::from(ways) * 64);
+        let mut cache = SetAssociativeCache::new(CacheConfig::new(capacity, ways, 64));
+        cache.access(addr, false);
+        prop_assert!(cache.access(addr, false).is_hit());
+        prop_assert!(cache.contains(addr));
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        accesses in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..500),
+    ) {
+        let capacity = Capacity::from_bytes(4 * 64 * 8);
+        let mut cache = SetAssociativeCache::new(CacheConfig::new(capacity, 4, 64));
+        let mut distinct = std::collections::HashSet::new();
+        for (addr, is_write) in accesses {
+            cache.access(addr, is_write);
+            distinct.insert(addr / 64);
+        }
+        // Lines still resident can never exceed total line slots.
+        let resident = distinct
+            .iter()
+            .filter(|line| cache.contains(**line * 64))
+            .count() as u64;
+        prop_assert!(resident <= capacity.bytes() / 64);
+    }
+
+    #[test]
+    fn lru_recency_is_respected(tag_count in 3u64..10) {
+        // One-set cache of 2 ways: after touching tags 0..n in order,
+        // only the last two survive.
+        let capacity = Capacity::from_bytes(2 * 64);
+        let mut cache = SetAssociativeCache::new(CacheConfig::new(capacity, 2, 64));
+        for tag in 0..tag_count {
+            cache.access(tag * 64, false);
+        }
+        prop_assert!(cache.contains((tag_count - 1) * 64));
+        prop_assert!(cache.contains((tag_count - 2) * 64));
+        prop_assert!(!cache.contains((tag_count - 3) * 64));
+    }
+
+    #[test]
+    fn tentpole_optimism_dominates_at_array_level(tech_idx in 0usize..3, dies_idx in 0usize..4) {
+        let tech = MemoryTechnology::ENVM_SET[tech_idx];
+        let dies = [1u8, 2, 4, 8][dies_idx];
+        let n = node();
+        let build = |tp| {
+            let mut spec = ArraySpec::llc_16mib(CellModel::tentpole(tech, tp, &n), &n);
+            if dies > 1 {
+                spec = spec.with_dies(dies);
+            }
+            spec.characterize(Objective::EnergyDelayProduct)
+        };
+        let opt = build(Tentpole::Optimistic);
+        let pess = build(Tentpole::Pessimistic);
+        prop_assert!(opt.read_latency <= pess.read_latency);
+        prop_assert!(opt.write_latency <= pess.write_latency);
+        prop_assert!(opt.read_energy <= pess.read_energy);
+        prop_assert!(opt.write_energy <= pess.write_energy);
+        prop_assert!(opt.footprint.get() <= pess.footprint.get());
+    }
+}
