@@ -59,6 +59,13 @@ impl fmt::Display for Objective {
 /// subarray bits than the array stores) are skipped; at least one
 /// candidate always remains for the capacities in this study.
 ///
+/// The candidate evaluations fan out over the shared worker pool
+/// (`coldtall-par`), so a single top-level characterization scales
+/// with core count; when the caller is itself a pool worker (an outer
+/// sweep is already parallel) the search runs inline. The reduction
+/// always runs over results in candidate order, so the chosen
+/// organization does not depend on scheduling.
+///
 /// # Panics
 ///
 /// Panics if no candidate organization fits the spec (capacity smaller
@@ -66,20 +73,24 @@ impl fmt::Display for Objective {
 #[must_use]
 pub fn optimize(spec: &ArraySpec, objective: Objective) -> ArrayCharacterization {
     let total_bits = spec.capacity().bits_f64() * spec.storage_overhead();
-    Organization::candidates()
+    let feasible: Vec<Organization> = Organization::candidates()
         .filter(|org| {
             // A subarray must not dwarf the per-die share of the array.
             let per_die = total_bits / f64::from(spec.dies());
             org.bits_per_subarray() as f64 <= per_die
         })
-        .map(|org| ArrayCharacterization::evaluate(spec, org))
-        .min_by(|a, b| {
-            objective
-                .score(a)
-                .partial_cmp(&objective.score(b))
-                .expect("objective scores are finite")
-        })
-        .expect("no feasible organization for the given capacity")
+        .collect();
+    coldtall_par::parallel_map_slice(&feasible, |&org| {
+        ArrayCharacterization::evaluate(spec, org)
+    })
+    .into_iter()
+    .min_by(|a, b| {
+        objective
+            .score(a)
+            .partial_cmp(&objective.score(b))
+            .expect("objective scores are finite")
+    })
+    .expect("no feasible organization for the given capacity")
 }
 
 #[cfg(test)]

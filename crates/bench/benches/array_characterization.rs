@@ -1,17 +1,19 @@
-//! Criterion benchmarks of the array-characterization engine: the inner
-//! loop behind every figure (NVSim/Destiny/CryoMEM-equivalent work).
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//! Wall-clock benchmarks of the array-characterization engine: the
+//! inner loop behind every figure (NVSim/Destiny/CryoMEM-equivalent
+//! work). Std-only timing — the offline workspace has no criterion.
 
 use coldtall_array::{ArraySpec, Objective};
+use coldtall_bench::timing::{report, time};
 use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
 use coldtall_tech::ProcessNode;
 use coldtall_units::Kelvin;
 
-fn bench_characterize(c: &mut Criterion) {
+const ITERS: u32 = 10;
+
+fn main() {
     let node = ProcessNode::ptm_22nm_hp();
-    let mut group = c.benchmark_group("characterize_16mib");
+    let mut samples = Vec::new();
+
     for tech in [
         MemoryTechnology::Sram,
         MemoryTechnology::Edram3T,
@@ -20,59 +22,36 @@ fn bench_characterize(c: &mut Criterion) {
     ] {
         let cell = CellModel::tentpole(tech, Tentpole::Optimistic, &node);
         let spec = ArraySpec::llc_16mib(cell, &node);
-        group.bench_with_input(BenchmarkId::from_parameter(tech.name()), &spec, |b, spec| {
-            b.iter(|| black_box(spec.characterize(Objective::EnergyDelayProduct)));
-        });
+        samples.push(time(
+            &format!("characterize_16mib/{}", tech.name()),
+            ITERS,
+            || spec.characterize(Objective::EnergyDelayProduct),
+        ));
     }
-    group.finish();
-}
 
-fn bench_die_counts(c: &mut Criterion) {
-    let node = ProcessNode::ptm_22nm_hp();
-    let mut group = c.benchmark_group("characterize_stacked_pcm");
     for dies in [1u8, 2, 4, 8] {
         let cell = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &node);
         let mut spec = ArraySpec::llc_16mib(cell, &node);
         if dies > 1 {
             spec = spec.with_dies(dies);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(dies), &spec, |b, spec| {
-            b.iter(|| black_box(spec.characterize(Objective::EnergyDelayProduct)));
-        });
+        samples.push(time(
+            &format!("characterize_stacked_pcm/{dies}"),
+            ITERS,
+            || spec.characterize(Objective::EnergyDelayProduct),
+        ));
     }
-    group.finish();
-}
 
-fn bench_temperature_sweep(c: &mut Criterion) {
-    let node = ProcessNode::ptm_22nm_hp();
-    let cell = CellModel::sram(&node);
-    let spec = ArraySpec::llc_16mib(cell, &node);
-    c.bench_function("characterize_cryo_sweep", |b| {
-        b.iter(|| {
-            for t in coldtall_cryo::study_temperatures() {
-                black_box(coldtall_cryo::characterize_at(
-                    &spec,
-                    t,
-                    Objective::EnergyDelayProduct,
-                ));
-            }
-        });
-    });
-    c.bench_function("characterize_77k_single", |b| {
-        b.iter(|| {
-            black_box(coldtall_cryo::characterize_at(
-                &spec,
-                Kelvin::LN2,
-                Objective::EnergyDelayProduct,
-            ))
-        });
-    });
-}
+    let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+    samples.push(time("characterize_cryo_sweep", ITERS, || {
+        coldtall_cryo::study_temperatures()
+            .into_iter()
+            .map(|t| coldtall_cryo::characterize_at(&spec, t, Objective::EnergyDelayProduct))
+            .collect::<Vec<_>>()
+    }));
+    samples.push(time("characterize_77k_single", ITERS, || {
+        coldtall_cryo::characterize_at(&spec, Kelvin::LN2, Objective::EnergyDelayProduct)
+    }));
 
-criterion_group!(
-    benches,
-    bench_characterize,
-    bench_die_counts,
-    bench_temperature_sweep
-);
-criterion_main!(benches);
+    report("array characterization", &samples);
+}

@@ -1,66 +1,40 @@
-//! Criterion benchmarks of the cache-hierarchy simulator (the Sniper
+//! Wall-clock benchmarks of the cache-hierarchy simulator (the Sniper
 //! substitute feeding the traffic axes of Fig. 5 and Fig. 7).
+//! Std-only timing — the offline workspace has no criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-
+use coldtall_bench::timing::{report, time};
 use coldtall_cachesim::{CpuConfig, Hierarchy, MemoryAccess};
 use coldtall_workloads::{benchmark, simulate_traffic, AccessGenerator};
 
-fn bench_raw_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy_access");
-    const N: u64 = 100_000;
-    group.throughput(Throughput::Elements(N));
-    group.bench_function("streaming_reads", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(CpuConfig::skylake_desktop());
-            for i in 0..N {
-                h.access(MemoryAccess::data_read(0, i * 64));
-            }
-            black_box(h.llc_stats().accesses())
-        });
-    });
-    group.finish();
-}
+fn main() {
+    let mut samples = Vec::new();
 
-fn bench_synthetic_benchmarks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthetic_workload");
-    const N: u64 = 50_000;
-    group.throughput(Throughput::Elements(N));
+    const N: u64 = 100_000;
+    samples.push(time("hierarchy_access/streaming_reads_100k", 5, || {
+        let mut h = Hierarchy::new(CpuConfig::skylake_desktop());
+        for i in 0..N {
+            h.access(MemoryAccess::data_read(0, i * 64));
+        }
+        h.llc_stats().accesses()
+    }));
+
+    const M: u64 = 50_000;
     for name in ["povray", "namd", "mcf"] {
         let bench = benchmark(name).expect("benchmark present");
-        group.bench_with_input(BenchmarkId::from_parameter(name), bench, |b, bench| {
-            b.iter(|| {
-                let mut h = Hierarchy::new(CpuConfig::skylake_desktop());
-                let mut generator = AccessGenerator::new(bench.generator, 0, 7);
-                for _ in 0..N {
-                    h.access(generator.next().expect("infinite stream"));
-                }
-                black_box(h.llc_stats().accesses())
-            });
-        });
+        samples.push(time(&format!("synthetic_workload/{name}_50k"), 5, || {
+            let mut h = Hierarchy::new(CpuConfig::skylake_desktop());
+            let mut generator = AccessGenerator::new(bench.generator, 0, 7);
+            for _ in 0..M {
+                h.access(generator.next().expect("infinite stream"));
+            }
+            h.llc_stats().accesses()
+        }));
     }
-    group.finish();
-}
 
-fn bench_traffic_extraction(c: &mut Criterion) {
-    let bench = benchmark("gcc").expect("benchmark present");
-    c.bench_function("simulate_traffic_gcc_8core", |b| {
-        b.iter(|| {
-            black_box(simulate_traffic(
-                bench,
-                CpuConfig::skylake_desktop(),
-                2_000,
-                42,
-            ))
-        });
-    });
-}
+    let gcc = benchmark("gcc").expect("benchmark present");
+    samples.push(time("simulate_traffic_gcc_8core", 5, || {
+        simulate_traffic(gcc, CpuConfig::skylake_desktop(), 2_000, 42)
+    }));
 
-criterion_group!(
-    benches,
-    bench_raw_hierarchy,
-    bench_synthetic_benchmarks,
-    bench_traffic_extraction
-);
-criterion_main!(benches);
+    report("cache hierarchy", &samples);
+}

@@ -1,40 +1,43 @@
-//! Criterion benchmarks of the design-space exploration driver: the
-//! end-to-end cost of regenerating the paper's figures and Table II.
+//! Wall-clock benchmarks of the design-space exploration driver: the
+//! end-to-end cost of regenerating the paper's figures and Table II,
+//! sequential versus the scoped-pool parallel sweep.
+//! Std-only timing — the offline workspace has no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-use coldtall_core::{selection, Explorer, MemoryConfig};
+use coldtall_bench::timing::{report, time};
+use coldtall_core::{pool, selection, Explorer, MemoryConfig};
 use coldtall_workloads::benchmark;
 
-fn bench_single_evaluation(c: &mut Criterion) {
+fn main() {
+    let mut samples = Vec::new();
+
     let explorer = Explorer::with_defaults();
     let namd = benchmark("namd").expect("benchmark present");
     let config = MemoryConfig::edram_77k();
     // Prime the characterization cache so this measures the application
     // model alone.
     let _ = explorer.evaluate(&config, namd);
-    c.bench_function("evaluate_cached", |b| {
-        b.iter(|| black_box(explorer.evaluate(&config, namd)));
-    });
-}
+    samples.push(time("evaluate_cached", 1000, || {
+        explorer.evaluate(&config, namd)
+    }));
 
-fn bench_full_sweep(c: &mut Criterion) {
-    c.bench_function("study_sweep_cold", |b| {
-        b.iter(|| {
-            let explorer = Explorer::with_defaults();
-            black_box(explorer.sweep().len())
-        });
-    });
-}
-
-fn bench_table2(c: &mut Criterion) {
-    c.bench_function("table2_selection", |b| {
+    samples.push(time("study_sweep_cold_seq", 3, || {
         let explorer = Explorer::with_defaults();
-        let _ = explorer.sweep(); // prime the cache
-        b.iter(|| black_box(selection::table2(&explorer).len()));
-    });
-}
+        explorer.sweep_configs_seq(&MemoryConfig::study_set()).len()
+    }));
+    samples.push(time(
+        &format!("study_sweep_cold_par_{}t", pool::max_threads()),
+        3,
+        || {
+            let explorer = Explorer::with_defaults();
+            explorer.par_sweep_configs(&MemoryConfig::study_set()).len()
+        },
+    ));
 
-criterion_group!(benches, bench_single_evaluation, bench_full_sweep, bench_table2);
-criterion_main!(benches);
+    let explorer = Explorer::with_defaults();
+    let _ = explorer.sweep(); // prime the cache
+    samples.push(time("table2_selection", 10, || {
+        selection::table2(&explorer).len()
+    }));
+
+    report("explorer sweep", &samples);
+}

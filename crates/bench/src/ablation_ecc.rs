@@ -74,6 +74,9 @@ mod tests {
         assert!(col("BCH", 4) > col("no-ECC", 4));
         // SECDED costs roughly its 12.5% storage overhead in area.
         let secded_area = col("SECDED", 3);
-        assert!((1.05..1.25).contains(&secded_area), "SECDED area = {secded_area}");
+        assert!(
+            (1.05..1.25).contains(&secded_area),
+            "SECDED area = {secded_area}"
+        );
     }
 }

@@ -23,8 +23,8 @@ pub fn run() -> TextTable {
         "leakage_W",
     ]);
     for node in ProcessNode::scaling_set() {
-        let base =
-            ArraySpec::llc_16mib(CellModel::sram(&node), &node).characterize(Objective::EnergyDelayProduct);
+        let base = ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+            .characterize(Objective::EnergyDelayProduct);
         for tech in [
             MemoryTechnology::Sram,
             MemoryTechnology::Edram3T,
@@ -32,8 +32,7 @@ pub fn run() -> TextTable {
             MemoryTechnology::SttRam,
         ] {
             let cell = CellModel::tentpole(tech, Tentpole::Optimistic, &node);
-            let a = ArraySpec::llc_16mib(cell, &node)
-                .characterize(Objective::EnergyDelayProduct);
+            let a = ArraySpec::llc_16mib(cell, &node).characterize(Objective::EnergyDelayProduct);
             table.row_owned(vec![
                 node.name().to_string(),
                 tech.name().to_string(),

@@ -23,7 +23,11 @@ pub fn run() -> TextTable {
         "rel_read_latency_vs_own_2d",
         "rel_read_energy_vs_own_2d",
     ]);
-    for tech in [MemoryTechnology::Sram, MemoryTechnology::SttRam, MemoryTechnology::Pcm] {
+    for tech in [
+        MemoryTechnology::Sram,
+        MemoryTechnology::SttRam,
+        MemoryTechnology::Pcm,
+    ] {
         let cell = CellModel::tentpole(tech, Tentpole::Optimistic, &node);
         let own_2d = ArraySpec::llc_16mib(cell.clone(), &node).characterize(objective);
         for (stacking, dies_set) in [

@@ -56,8 +56,7 @@ pub fn run() -> TextTable {
             tags.leakage_power.get() / (tags.leakage_power.get() + data.leakage_power.get());
         let latency_share =
             tags.read_latency.get() / (tags.read_latency.get() + data.read_latency.get());
-        let area_share =
-            tags.footprint.get() / (tags.footprint.get() + data.footprint.get());
+        let area_share = tags.footprint.get() / (tags.footprint.get() + data.footprint.get());
         table.row_owned(vec![
             tech.name().to_string(),
             sci(leak_share),

@@ -84,6 +84,9 @@ mod tests {
             .map(|l| l.split(',').nth(4).unwrap().parse().unwrap())
             .collect();
         let min = edps.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(min > 0.7, "policy EDP must be within 40% of the sweep optimum (min = {min})");
+        assert!(
+            min > 0.7,
+            "policy EDP must be within 40% of the sweep optimum (min = {min})"
+        );
     }
 }

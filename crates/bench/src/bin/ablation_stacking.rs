@@ -1,5 +1,8 @@
 //! Runs the ablation_stacking study. Pass `--csv` for CSV output.
 
 fn main() {
-    coldtall_bench::emit("ablation_stacking", &coldtall_bench::ablation_stacking::run());
+    coldtall_bench::emit(
+        "ablation_stacking",
+        &coldtall_bench::ablation_stacking::run(),
+    );
 }

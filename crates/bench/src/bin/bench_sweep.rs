@@ -1,0 +1,122 @@
+//! Timing harness: sequential versus parallel design-space sweeps.
+//!
+//! Two workloads, each swept twice — pinned to one thread at every
+//! level, then on the full worker pool — with the results verified
+//! bit-identical between the paths:
+//!
+//! * `study` — the paper's full study set under every SPEC2017
+//!   benchmark (31 x 23 = 713 rows),
+//! * `study_x_temps` — the study set expanded across the eight study
+//!   temperatures (the Fig. 1/Fig. 3 axis), multiplying the number of
+//!   distinct characterizations by ~8x so the pool has enough work to
+//!   amortize thread startup.
+//!
+//! Prints the wall-clock comparison and writes `BENCH_sweep.json` so
+//! future PRs have a perf trajectory.
+//!
+//! Usage: `bench_sweep [--iters N] [--out PATH]`
+
+use std::time::Instant;
+
+use coldtall_bench::timing::JsonObject;
+use coldtall_core::{pool, Explorer, LlcEvaluation, MemoryConfig};
+use coldtall_workloads::spec2017;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Times cold sweeps: fresh explorer (empty cache) each iteration, so
+/// every run includes the expensive characterization phase.
+fn timed_sweep(
+    iters: u32,
+    configs: &[MemoryConfig],
+    sweep: impl Fn(&Explorer, &[MemoryConfig]) -> Vec<LlcEvaluation>,
+) -> (f64, Vec<LlcEvaluation>) {
+    // Warmup iteration (first touch of lazily initialized statics).
+    let mut rows = sweep(&Explorer::with_defaults(), configs);
+    let start = Instant::now();
+    for _ in 0..iters {
+        rows = sweep(&Explorer::with_defaults(), configs);
+    }
+    (start.elapsed().as_secs_f64() / f64::from(iters), rows)
+}
+
+/// One sequential-vs-parallel comparison over `configs`.
+fn compare(label: &str, iters: u32, configs: &[MemoryConfig], json: &mut JsonObject) -> bool {
+    // Sequential reference: one thread at every level (outer sweep and
+    // inner organization search alike).
+    pool::set_max_threads(1);
+    let (seq_secs, seq_rows) = timed_sweep(iters, configs, Explorer::sweep_configs_seq);
+
+    // Parallel: restore auto-detection.
+    pool::set_max_threads(0);
+    let threads = pool::max_threads();
+    let (par_secs, par_rows) = timed_sweep(iters, configs, Explorer::par_sweep_configs);
+
+    let identical = seq_rows == par_rows;
+    let speedup = seq_secs / par_secs;
+
+    println!(
+        "# {label}: {} configs x {} benchmarks = {} rows",
+        configs.len(),
+        spec2017().len(),
+        seq_rows.len()
+    );
+    println!("  sequential (1 thread)  {:>10.3} ms", seq_secs * 1e3);
+    println!(
+        "  parallel ({threads} threads)   {:>10.3} ms",
+        par_secs * 1e3
+    );
+    println!("  speedup                {speedup:>10.2}x");
+    println!("  identical results      {identical:>10}");
+
+    json.number(&format!("{label}_rows"), seq_rows.len() as f64)
+        .number(&format!("{label}_sequential_secs"), seq_secs)
+        .number(&format!("{label}_parallel_secs"), par_secs)
+        .number(&format!("{label}_speedup"), speedup)
+        .boolean(&format!("{label}_identical"), identical);
+    identical
+}
+
+fn main() {
+    let iters: u32 = arg_value("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let study = MemoryConfig::study_set();
+    // The temperature-expanded set: every study configuration at every
+    // study temperature (duplicate labels near 350 K simply hit the
+    // cache, as they would in a real figure regeneration).
+    let expanded: Vec<MemoryConfig> = study
+        .iter()
+        .flat_map(|config| {
+            coldtall_cryo::study_temperatures()
+                .into_iter()
+                .map(|t| config.clone().at_temperature(t))
+        })
+        .collect();
+
+    let mut json = JsonObject::new();
+    json.string("bench", "sweep_seq_vs_par")
+        .number("iters", f64::from(iters))
+        .number("threads_detected", pool::max_threads() as f64);
+
+    let ok_study = compare("study", iters, &study, &mut json);
+    let ok_expanded = compare("study_x_temps", iters, &expanded, &mut json);
+
+    if let Err(err) = std::fs::write(&out, json.render()) {
+        eprintln!("warning: could not write {out}: {err}");
+    } else {
+        println!("wrote {out}");
+    }
+
+    assert!(
+        ok_study && ok_expanded,
+        "parallel sweep diverged from the sequential reference"
+    );
+}

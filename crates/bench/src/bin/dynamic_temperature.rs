@@ -1,5 +1,8 @@
 //! Runs the dynamic_temperature study. Pass `--csv` for CSV output.
 
 fn main() {
-    coldtall_bench::emit("dynamic_temperature", &coldtall_bench::dynamic_temperature::run());
+    coldtall_bench::emit(
+        "dynamic_temperature",
+        &coldtall_bench::dynamic_temperature::run(),
+    );
 }

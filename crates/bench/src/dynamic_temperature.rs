@@ -83,10 +83,7 @@ mod tests {
     #[test]
     fn discrete_setpoints_reward_switching_tunable_ones_do_not() {
         let csv = run().to_csv();
-        let sram_discrete = csv
-            .lines()
-            .find(|l| l.starts_with("SRAM,77|350"))
-            .unwrap();
+        let sram_discrete = csv.lines().find(|l| l.starts_with("SRAM,77|350")).unwrap();
         let savings: f64 = sram_discrete.split(',').nth(5).unwrap().parse().unwrap();
         assert!(savings > 0.05, "discrete savings = {savings}");
         let sram_tunable = csv.lines().find(|l| l.starts_with("SRAM,tunable")).unwrap();

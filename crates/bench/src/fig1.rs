@@ -1,9 +1,9 @@
 //! Fig. 1: total LLC power of the client CPU running `namd` at
 //! temperatures between 77 K and 387 K, relative to 350 K SRAM.
 
+use coldtall_cell::MemoryTechnology;
 use coldtall_core::report::{sci, TextTable};
 use coldtall_core::{Explorer, MemoryConfig};
-use coldtall_cell::MemoryTechnology;
 use coldtall_cryo::{study_temperatures, CoolingSystem};
 use coldtall_workloads::benchmark;
 

@@ -1,9 +1,9 @@
 //! Fig. 4: total LLC power for `namd` and `leela` at room temperature,
 //! cryogenic temperature, and cryogenic temperature including cooling.
 
+use coldtall_cell::MemoryTechnology;
 use coldtall_core::report::{sci, TextTable};
 use coldtall_core::{Explorer, MemoryConfig};
-use coldtall_cell::MemoryTechnology;
 use coldtall_units::Kelvin;
 use coldtall_workloads::benchmark;
 

@@ -2,9 +2,9 @@
 //! suite at 77 K vs 350 K, relative to 350 K SRAM running `namd`
 //! (power) and 350 K SRAM on the same benchmark (latency).
 
+use coldtall_cell::MemoryTechnology;
 use coldtall_core::report::{sci, TextTable};
 use coldtall_core::{Explorer, MemoryConfig};
-use coldtall_cell::MemoryTechnology;
 use coldtall_units::Kelvin;
 use coldtall_workloads::spec2017;
 

@@ -39,8 +39,7 @@ pub fn run() -> TextTable {
                 sci(pure.lifetime_years),
             ]);
             for fast_ways in [2u8, 4, 8] {
-                let hybrid =
-                    HybridLlc::new(MemoryConfig::sram_350k(), dense.clone(), fast_ways);
+                let hybrid = HybridLlc::new(MemoryConfig::sram_350k(), dense.clone(), fast_ways);
                 let eval = explorer.evaluate_hybrid(&hybrid, bench);
                 table.row_owned(vec![
                     bench_name.to_string(),

@@ -31,6 +31,7 @@
 //! | `hybrid_study` | SRAM + eNVM hybrid partitions (related work II-B) |
 //! | `dynamic_temperature` | temperature as a dynamic knob (future work VI) |
 //! | `variation_study` | Monte-Carlo sampling between the tentpoles |
+//! | `bench_sweep` | sequential-vs-parallel sweep wall-clock (writes `BENCH_sweep.json`) |
 //!
 //! # Examples
 //!
@@ -47,19 +48,20 @@ pub mod ablation_ecc;
 pub mod ablation_node;
 pub mod ablation_stacking;
 pub mod ablation_tags;
-pub mod accel_study;
 pub mod ablation_voltage;
+pub mod accel_study;
 pub mod dynamic_temperature;
-pub mod hybrid_study;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod hybrid_study;
 pub mod table1;
-pub mod variation_study;
 pub mod table2;
+pub mod timing;
+pub mod variation_study;
 
 use coldtall_core::report::TextTable;
 

@@ -1,0 +1,143 @@
+//! Minimal std-only timing support for the bench binaries.
+//!
+//! The offline build cannot depend on criterion; this module provides
+//! the slice of it the harness needs: warmup-then-measure wall-clock
+//! timing with a stable report format, and a tiny JSON writer so runs
+//! leave a machine-readable trail (`BENCH_sweep.json`) for tracking
+//! the perf trajectory across PRs.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One timed measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// What was measured.
+    pub label: String,
+    /// Measured iterations (after one untimed warmup).
+    pub iters: u32,
+    /// Total wall-clock across the measured iterations.
+    pub total: Duration,
+}
+
+impl Sample {
+    /// Mean seconds per iteration.
+    #[must_use]
+    pub fn secs_per_iter(&self) -> f64 {
+        self.total.as_secs_f64() / f64::from(self.iters.max(1))
+    }
+}
+
+/// Runs `f` once untimed (warmup), then `iters` timed iterations, and
+/// returns the measurement. The closure's result is passed through
+/// [`std::hint::black_box`] so the optimizer cannot elide the work.
+pub fn time<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) -> Sample {
+    let _ = std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = std::hint::black_box(f());
+    }
+    Sample {
+        label: label.to_string(),
+        iters,
+        total: start.elapsed(),
+    }
+}
+
+/// Prints samples as an aligned two-column report.
+pub fn report(title: &str, samples: &[Sample]) {
+    println!("# {title}");
+    let width = samples.iter().map(|s| s.label.len()).max().unwrap_or(0);
+    for s in samples {
+        println!(
+            "{:width$}  {:>12.3} ms/iter  ({} iters)",
+            s.label,
+            s.secs_per_iter() * 1e3,
+            s.iters,
+        );
+    }
+}
+
+/// A flat string/number JSON object writer (no external crates; the
+/// harness only ever needs one nesting level).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        let escaped: String = value.chars().flat_map(char::escape_default).collect();
+        self.fields
+            .push((key.to_string(), format!("\"{escaped}\"")));
+        self
+    }
+
+    /// Adds a numeric field.
+    pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+        // JSON has no NaN/inf; clamp to null for robustness.
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the object with one field per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            let _ = writeln!(out, "  \"{key}\": {value}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_counts_iterations() {
+        let mut calls = 0u32;
+        let sample = time("noop", 5, || calls += 1);
+        // 1 warmup + 5 measured.
+        assert_eq!(calls, 6);
+        assert_eq!(sample.iters, 5);
+        assert!(sample.secs_per_iter() >= 0.0);
+    }
+
+    #[test]
+    fn json_renders_all_field_kinds() {
+        let mut obj = JsonObject::new();
+        obj.string("name", "sweep \"full\"")
+            .number("seconds", 1.25)
+            .number("bad", f64::NAN)
+            .boolean("identical", true);
+        let json = obj.render();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"seconds\": 1.25,"));
+        assert!(json.contains("\"bad\": null,"));
+        assert!(json.contains("\"identical\": true\n"));
+        assert!(json.contains("\\\"full\\\""));
+    }
+}

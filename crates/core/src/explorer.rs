@@ -1,8 +1,5 @@
 //! The exploration driver: configurations x benchmarks.
 
-use std::cell::RefCell;
-use std::collections::HashMap;
-
 use coldtall_array::{ArrayCharacterization, Objective};
 use coldtall_tech::ProcessNode;
 use coldtall_units::Watts;
@@ -11,6 +8,8 @@ use coldtall_workloads::{spec2017, Benchmark};
 use crate::config::MemoryConfig;
 use crate::evaluate::{device_power, LlcEvaluation};
 use crate::lifetime::lifetime_years;
+use crate::parcache::ShardedCache;
+use crate::pool;
 
 /// The reference benchmark all power results are normalized to, as in
 /// the paper (350 K SRAM running `namd`).
@@ -19,6 +18,13 @@ pub const REFERENCE_BENCHMARK: &str = "namd";
 /// Drives the design-space exploration: characterizes configurations
 /// (with caching), normalizes against the 350 K SRAM / `namd` reference,
 /// and evaluates configurations under benchmark traffic.
+///
+/// The explorer is `Send + Sync`: the characterization memo is a
+/// sharded, lock-striped cache (see [`crate::parcache`]), so one
+/// explorer can be shared by every worker of a parallel sweep. All
+/// evaluation is pure arithmetic over immutable state, which makes
+/// [`Explorer::par_sweep_configs`] bit-identical to the sequential
+/// [`Explorer::sweep_configs_seq`].
 ///
 /// # Examples
 ///
@@ -34,7 +40,7 @@ pub const REFERENCE_BENCHMARK: &str = "namd";
 pub struct Explorer {
     node: ProcessNode,
     objective: Objective,
-    cache: RefCell<HashMap<String, ArrayCharacterization>>,
+    cache: ShardedCache<ArrayCharacterization>,
     baseline: ArrayCharacterization,
     reference_power: Watts,
 }
@@ -64,7 +70,7 @@ impl Explorer {
         Self {
             node,
             objective,
-            cache: RefCell::new(HashMap::new()),
+            cache: ShardedCache::new(),
             baseline,
             reference_power,
         }
@@ -95,18 +101,34 @@ impl Explorer {
         self.reference_power
     }
 
-    /// Characterizes a configuration's array (cached).
+    /// Distinct configurations currently memoized in the
+    /// characterization cache.
+    #[must_use]
+    pub fn cached_characterizations(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Characterizes a configuration's array (cached, thread-safe).
+    ///
+    /// On a miss the characterization runs without any shard lock held;
+    /// threads racing on the same label converge on the first published
+    /// entry (the function is deterministic, so every racer computes
+    /// the same value anyway).
     #[must_use]
     pub fn characterize(&self, config: &MemoryConfig) -> ArrayCharacterization {
-        let key = config.label();
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return hit.clone();
-        }
-        let array = config.characterize(&self.node, self.objective);
-        self.cache
-            .borrow_mut()
-            .insert(key, array.clone());
-        array
+        self.cache.get_or_insert_with(&config.label(), || {
+            config.characterize(&self.node, self.objective)
+        })
+    }
+
+    /// Warms the characterization cache for every distinct configuration
+    /// in `configs`, one pool item per configuration.
+    ///
+    /// Called by the parallel sweep before fanning out over
+    /// (configuration, benchmark) pairs, so co-scheduled workers of the
+    /// same configuration do not redundantly characterize it.
+    pub fn precharacterize(&self, configs: &[MemoryConfig]) {
+        let _ = pool::parallel_map_slice(configs, |config| self.characterize(config));
     }
 
     /// Evaluates one configuration under one benchmark's traffic.
@@ -138,9 +160,24 @@ impl Explorer {
         self.sweep_configs(&MemoryConfig::study_set())
     }
 
-    /// Evaluates the given configurations under every SPEC2017 benchmark.
+    /// Evaluates the given configurations under every SPEC2017
+    /// benchmark, in parallel when the machine has more than one CPU
+    /// (results are ordered and valued exactly as the sequential path).
     #[must_use]
     pub fn sweep_configs(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
+        if pool::max_threads() > 1 {
+            self.par_sweep_configs(configs)
+        } else {
+            self.sweep_configs_seq(configs)
+        }
+    }
+
+    /// The sequential reference sweep: a plain nested loop, no pool.
+    ///
+    /// Kept as the determinism oracle for [`Explorer::par_sweep_configs`]
+    /// and as the fallback on 1-CPU machines.
+    #[must_use]
+    pub fn sweep_configs_seq(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
         configs
             .iter()
             .flat_map(|config| {
@@ -149,6 +186,25 @@ impl Explorer {
                     .map(move |benchmark| self.evaluate(config, benchmark))
             })
             .collect()
+    }
+
+    /// Evaluates the (configuration x benchmark) cross-product on the
+    /// scoped worker pool.
+    ///
+    /// Two phases: first the distinct configurations are characterized
+    /// in parallel (the expensive organization searches), then the flat
+    /// pair grid fans out with work stealing. Output order is row-major
+    /// — identical to [`Explorer::sweep_configs_seq`] — and values are
+    /// bit-identical because evaluation is pure floating-point
+    /// arithmetic over the shared cache.
+    #[must_use]
+    pub fn par_sweep_configs(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
+        self.precharacterize(configs);
+        let benchmarks = spec2017();
+        pool::parallel_map(configs.len() * benchmarks.len(), |index| {
+            let (c, b) = pool::unflatten(index, benchmarks.len());
+            self.evaluate(&configs[c], &benchmarks[b])
+        })
     }
 }
 
@@ -162,6 +218,14 @@ impl Default for Explorer {
 mod tests {
     use super::*;
     use coldtall_workloads::benchmark;
+
+    /// Compile-time proof that the explorer can be shared across the
+    /// worker pool.
+    #[test]
+    fn explorer_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Explorer>();
+    }
 
     #[test]
     fn baseline_on_reference_normalizes_to_one() {
@@ -181,7 +245,36 @@ mod tests {
         let a = explorer.characterize(&MemoryConfig::edram_77k());
         let b = explorer.characterize(&MemoryConfig::edram_77k());
         assert_eq!(a, b);
-        assert_eq!(explorer.cache.borrow().len(), 1);
+        assert_eq!(explorer.cached_characterizations(), 1);
+    }
+
+    #[test]
+    fn concurrent_characterize_converges_on_one_entry_per_label() {
+        let explorer = Explorer::with_defaults();
+        let configs = [
+            MemoryConfig::sram_350k(),
+            MemoryConfig::sram_77k(),
+            MemoryConfig::edram_77k(),
+        ];
+        // 24 OS threads hammer 3 overlapping configurations at once
+        // (raw spawns, not the pool: this must stay concurrent even on
+        // a 1-CPU machine where the pool would run inline).
+        let results: Vec<ArrayCharacterization> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..24)
+                .map(|i| {
+                    let (explorer, configs) = (&explorer, &configs);
+                    scope.spawn(move || explorer.characterize(&configs[i % 3]))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("characterize worker panicked"))
+                .collect()
+        });
+        assert_eq!(explorer.cached_characterizations(), 3);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result, &explorer.characterize(&configs[i % 3]));
+        }
     }
 
     #[test]
@@ -190,6 +283,19 @@ mod tests {
         let configs = [MemoryConfig::sram_350k(), MemoryConfig::edram_77k()];
         let rows = explorer.sweep_configs(&configs);
         assert_eq!(rows.len(), 2 * spec2017().len());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_sweep() {
+        let explorer = Explorer::with_defaults();
+        let configs = [
+            MemoryConfig::sram_350k(),
+            MemoryConfig::sram_77k(),
+            MemoryConfig::edram_77k(),
+        ];
+        let par = explorer.par_sweep_configs(&configs);
+        let seq = explorer.sweep_configs_seq(&configs);
+        assert_eq!(par, seq);
     }
 
     #[test]

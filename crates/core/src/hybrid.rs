@@ -9,14 +9,17 @@
 //! models that architecture at the same application level as the rest
 //! of the exploration.
 
+use coldtall_array::ArrayCharacterization;
 use coldtall_cachesim::LlcTraffic;
+use coldtall_cell::CellModel;
 use coldtall_units::{Capacity, Joules, Watts};
-use coldtall_workloads::Benchmark;
+use coldtall_workloads::{spec2017, Benchmark};
 
 use crate::config::MemoryConfig;
 use crate::evaluate::LlcEvaluation;
 use crate::explorer::Explorer;
 use crate::lifetime::lifetime_years;
+use crate::pool;
 
 /// Exponent of the write-capture law: the fraction of writes the fast
 /// partition absorbs is `fast_fraction ^ WRITE_CAPTURE_EXP`. Write-hot
@@ -133,14 +136,21 @@ impl HybridLlc {
     }
 }
 
+/// The capacity-apportioned partition characterizations of one hybrid,
+/// computed once and reused across every benchmark of a sweep (the two
+/// organization searches dominate a single hybrid evaluation's cost).
+#[derive(Debug, Clone)]
+struct HybridParts {
+    fast: ArrayCharacterization,
+    dense: ArrayCharacterization,
+    dense_cell: CellModel,
+    dense_capacity: Capacity,
+}
+
 impl Explorer {
-    /// Evaluates a hybrid LLC under a benchmark's traffic.
-    ///
-    /// Each partition is characterized at its share of the 16 MiB
-    /// capacity; traffic splits by the placement-capture laws, with a
-    /// migration surcharge on dense-partition writes.
-    #[must_use]
-    pub fn evaluate_hybrid(&self, hybrid: &HybridLlc, benchmark: &Benchmark) -> LlcEvaluation {
+    /// Characterizes both partitions at their share of the 16 MiB
+    /// capacity.
+    fn hybrid_parts(&self, hybrid: &HybridLlc) -> HybridParts {
         let total_bytes = Capacity::from_mebibytes(16).bytes();
         let fast_capacity =
             Capacity::from_bytes(total_bytes * u64::from(hybrid.fast_ways) / 16);
@@ -156,9 +166,53 @@ impl Explorer {
             .dense
             .to_spec(self.node())
             .with_capacity(dense_capacity);
-        let fast = fast_spec.characterize(self.objective());
-        let dense = dense_spec.characterize(self.objective());
+        HybridParts {
+            fast: fast_spec.characterize(self.objective()),
+            dense: dense_spec.characterize(self.objective()),
+            dense_cell: dense_spec.cell().clone(),
+            dense_capacity,
+        }
+    }
 
+    /// Evaluates a hybrid LLC under a benchmark's traffic.
+    ///
+    /// Each partition is characterized at its share of the 16 MiB
+    /// capacity; traffic splits by the placement-capture laws, with a
+    /// migration surcharge on dense-partition writes.
+    #[must_use]
+    pub fn evaluate_hybrid(&self, hybrid: &HybridLlc, benchmark: &Benchmark) -> LlcEvaluation {
+        self.evaluate_hybrid_parts(hybrid, &self.hybrid_parts(hybrid), benchmark)
+    }
+
+    /// Evaluates every hybrid under every SPEC2017 benchmark on the
+    /// worker pool, in row-major (hybrid, benchmark) order.
+    ///
+    /// Each hybrid's partitions are characterized exactly once (in
+    /// parallel across hybrids) before the pair grid fans out, so the
+    /// sweep does two organization searches per hybrid instead of two
+    /// per (hybrid, benchmark) pair.
+    #[must_use]
+    pub fn par_sweep_hybrids(&self, hybrids: &[HybridLlc]) -> Vec<LlcEvaluation> {
+        let parts = pool::parallel_map_slice(hybrids, |hybrid| self.hybrid_parts(hybrid));
+        let benchmarks = spec2017();
+        pool::parallel_map(hybrids.len() * benchmarks.len(), |index| {
+            let (h, b) = pool::unflatten(index, benchmarks.len());
+            self.evaluate_hybrid_parts(&hybrids[h], &parts[h], &benchmarks[b])
+        })
+    }
+
+    fn evaluate_hybrid_parts(
+        &self,
+        hybrid: &HybridLlc,
+        parts: &HybridParts,
+        benchmark: &Benchmark,
+    ) -> LlcEvaluation {
+        let HybridParts {
+            fast,
+            dense,
+            dense_cell,
+            dense_capacity,
+        } = parts;
         let traffic = benchmark.traffic;
         let wc = hybrid.write_capture();
         let rc = hybrid.read_capture();
@@ -196,8 +250,7 @@ impl Explorer {
             1.0
         };
 
-        let dense_cell = dense_spec.cell().clone();
-        let years = lifetime_years(&dense_cell, dense_capacity, 512, w_dense + migrations);
+        let years = lifetime_years(dense_cell, *dense_capacity, 512, w_dense + migrations);
 
         let footprint_mm2 = fast.footprint.as_mm2() + dense.footprint.as_mm2();
         LlcEvaluation {
@@ -282,6 +335,18 @@ mod tests {
         let small = explorer.evaluate_hybrid(&hybrid(2), quiet);
         let large = explorer.evaluate_hybrid(&hybrid(8), quiet);
         assert!(large.relative_power > small.relative_power);
+    }
+
+    #[test]
+    fn hybrid_sweep_matches_pointwise_evaluation() {
+        let explorer = Explorer::with_defaults();
+        let hybrids = [hybrid(2), hybrid(8)];
+        let rows = explorer.par_sweep_hybrids(&hybrids);
+        let benchmarks = spec2017();
+        assert_eq!(rows.len(), hybrids.len() * benchmarks.len());
+        // Row-major order, values identical to the one-off path.
+        let direct = explorer.evaluate_hybrid(&hybrids[1], &benchmarks[3]);
+        assert_eq!(rows[benchmarks.len() + 3], direct);
     }
 
     #[test]

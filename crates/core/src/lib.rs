@@ -40,7 +40,9 @@ mod evaluate;
 mod explorer;
 mod hybrid;
 mod lifetime;
+mod parcache;
 mod pareto;
+pub mod pool;
 pub mod report;
 pub mod selection;
 mod thermal_schedule;
@@ -50,6 +52,7 @@ pub use config::MemoryConfig;
 pub use evaluate::LlcEvaluation;
 pub use explorer::Explorer;
 pub use hybrid::HybridLlc;
+pub use parcache::ShardedCache;
 pub use pareto::{pareto_front, recommend, Constraints};
 pub use thermal_schedule::{phase_evaluation, plan_schedule, TemperatureSchedule, WorkloadPhase};
 pub use variation::{monte_carlo, sample_cells, MetricBand, VariationSummary};

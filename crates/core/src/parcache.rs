@@ -1,0 +1,185 @@
+//! Sharded, lock-striped characterization cache.
+//!
+//! The explorer memoizes array characterizations by configuration
+//! label. A single `Mutex<HashMap>` would serialize every worker of a
+//! parallel sweep on one lock; a `RefCell` (the previous design) is
+//! not `Sync` at all. This cache stripes the key space over `N`
+//! independent `RwLock<HashMap>` shards selected by key hash, so
+//! concurrent hits on different configurations never contend and hits
+//! on the same configuration share a read lock.
+//!
+//! Locking discipline (see also `DESIGN.md` § Parallelism):
+//!
+//! * a shard lock is never held across a characterization — misses
+//!   release the read lock, compute outside any lock, then take the
+//!   write lock only to publish;
+//! * two threads racing on the same missing key may both compute; the
+//!   first to publish wins and both return the published value, so
+//!   callers always observe one canonical entry per key;
+//! * lock poisoning is ignored (a panicking characterization leaves
+//!   the map in a consistent state: entries are only ever inserted
+//!   whole).
+
+use std::collections::HashMap;
+use std::sync::{PoisonError, RwLock};
+
+/// Number of lock stripes. A small power of two keeps the modulo cheap
+/// while comfortably exceeding any realistic worker count's collision
+/// rate (the study set has 31 distinct configuration labels).
+const SHARDS: usize = 16;
+
+/// A concurrent string-keyed memo table with `SHARDS` lock stripes.
+///
+/// Values are cloned out; `V` is expected to be a plain data record
+/// (the explorer stores `ArrayCharacterization`).
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Vec<RwLock<HashMap<String, V>>>,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// FNV-1a over the key bytes: deterministic across processes (the
+    /// std `RandomState` is not), cheap, and well-mixed for short
+    /// configuration labels.
+    fn shard_index(key: &str) -> usize {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in key.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (hash % SHARDS as u64) as usize
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
+        &self.shards[Self::shard_index(key)]
+    }
+
+    /// Returns a clone of the cached value, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.shard(key)
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    /// Returns the cached value for `key`, computing and publishing it
+    /// if absent. `compute` runs without any lock held; on a race the
+    /// first published value wins and is returned to every racer.
+    pub fn get_or_insert_with(&self, key: &str, compute: impl FnOnce() -> V) -> V {
+        if let Some(hit) = self.get(key) {
+            return hit;
+        }
+        let value = compute();
+        self.shard(key)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key.to_string())
+            .or_insert(value)
+            .clone()
+    }
+
+    /// Total entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The number of lock stripes (exposed for tests and diagnostics).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl<V: Clone> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn miss_then_hit() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.get_or_insert_with("a", || 7), 7);
+        assert_eq!(cache.get("a"), Some(7));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn compute_runs_once_per_key_when_sequential() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with("k", || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                3
+            });
+            assert_eq!(v, 3);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn keys_spread_over_multiple_shards() {
+        let cache: ShardedCache<usize> = ShardedCache::new();
+        for i in 0..200 {
+            let _ = cache.get_or_insert_with(&format!("config-{i}"), || i);
+        }
+        assert_eq!(cache.len(), 200);
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| !s.read().unwrap().is_empty())
+            .count();
+        assert!(occupied > 1, "all 200 keys landed in one shard");
+    }
+
+    #[test]
+    fn racing_inserts_converge_on_one_value() {
+        let cache: ShardedCache<usize> = ShardedCache::new();
+        // Raw thread spawns (not the pool, which runs inline on 1-CPU
+        // machines): each thread proposes its own value; exactly one
+        // wins and every racer observes the winner.
+        let results: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..64)
+                .map(|i| {
+                    let cache = &cache;
+                    scope.spawn(move || cache.get_or_insert_with("contested", move || i))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cache worker panicked"))
+                .collect()
+        });
+        let winner = cache.get("contested").expect("winner published");
+        assert!(results.iter().all(|&r| r == winner));
+        assert_eq!(cache.len(), 1);
+    }
+}

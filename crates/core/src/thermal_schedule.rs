@@ -106,18 +106,22 @@ pub fn plan_schedule(
     assert!(!phases.is_empty(), "need at least one phase");
     assert!(!candidates.is_empty(), "need at least one temperature");
 
-    // Per-phase, per-candidate energies.
-    let energy: Vec<Vec<f64>> = phases
+    // Per-phase, per-candidate energies: warm the characterization
+    // cache (one array per candidate temperature) in parallel, then fan
+    // the (phase x candidate) grid out over the worker pool.
+    let temp_configs: Vec<MemoryConfig> = candidates
         .iter()
-        .map(|phase| {
-            candidates
-                .iter()
-                .map(|&t| {
-                    phase_power(explorer, technology, t, phase.traffic)
-                        * phase.duration.get()
-                })
-                .collect()
-        })
+        .map(|&t| MemoryConfig::volatile_2d(technology, t))
+        .collect();
+    explorer.precharacterize(&temp_configs);
+    let flat = crate::pool::parallel_map(phases.len() * candidates.len(), |index| {
+        let (p, c) = crate::pool::unflatten(index, candidates.len());
+        phase_power(explorer, technology, candidates[c], phases[p].traffic)
+            * phases[p].duration.get()
+    });
+    let energy: Vec<Vec<f64>> = flat
+        .chunks(candidates.len())
+        .map(<[f64]>::to_vec)
         .collect();
 
     // DP over (phase, temperature state).

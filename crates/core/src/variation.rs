@@ -11,8 +11,7 @@
 use coldtall_array::{ArraySpec, Objective};
 use coldtall_cell::{CellModel, MemoryTechnology, SurveyEntry, Tentpole};
 use coldtall_tech::ProcessNode;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use coldtall_rng::SmallRng;
 
 /// Percentile summary of one metric across the sampled population,
 /// relative to the 350 K 2D SRAM baseline.
@@ -50,7 +49,7 @@ fn log_uniform(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
         return lo;
     }
     let (lo, hi) = (lo.min(hi), lo.max(hi));
-    (rng.gen::<f64>() * (hi.ln() - lo.ln()) + lo.ln()).exp()
+    (rng.gen_f64() * (hi.ln() - lo.ln()) + lo.ln()).exp()
 }
 
 /// Draws `n` synthetic survey entries between the technology's tentpole
@@ -138,17 +137,22 @@ pub fn monte_carlo(
     let objective = Objective::EnergyDelayProduct;
     let baseline = ArraySpec::llc_16mib(CellModel::sram(&node), &node).characterize(objective);
 
+    // Sampling is sequential (one RNG stream keeps seeds meaningful);
+    // the expensive part — one organization search per sampled cell —
+    // fans out over the worker pool.
     let cells = sample_cells(technology, samples, seed, &node);
+    let characterized = crate::pool::parallel_map_slice(&cells, |cell| {
+        let mut spec = ArraySpec::llc_16mib(cell.clone(), &node);
+        if dies > 1 {
+            spec = spec.with_dies(dies);
+        }
+        spec.characterize(objective)
+    });
     let mut read_latency = Vec::with_capacity(samples);
     let mut write_latency = Vec::with_capacity(samples);
     let mut read_energy = Vec::with_capacity(samples);
     let mut area = Vec::with_capacity(samples);
-    for cell in cells {
-        let mut spec = ArraySpec::llc_16mib(cell, &node);
-        if dies > 1 {
-            spec = spec.with_dies(dies);
-        }
-        let a = spec.characterize(objective);
+    for a in characterized {
         read_latency.push(a.read_latency / baseline.read_latency);
         write_latency.push(a.write_latency / baseline.write_latency);
         read_energy.push(a.read_energy / baseline.read_energy);

@@ -1,0 +1,208 @@
+//! Std-only scoped worker pool for coldtall's parallel sweeps.
+//!
+//! The build environment is offline, so the workspace cannot pull in
+//! `rayon`; this crate provides the small slice of it the explorer
+//! needs, on `std::thread::scope` alone:
+//!
+//! * [`parallel_map`] — map an index range over all available cores,
+//!   preserving order deterministically by writing each result into a
+//!   pre-sized slot,
+//! * an atomic work-stealing index, so uneven item costs (a PCM
+//!   characterization is much slower than a cached SRAM lookup) never
+//!   leave a core idle while work remains,
+//! * automatic sequential fallback on 1-CPU machines, for trivially
+//!   small inputs, and inside an already-parallel region (nested
+//!   `parallel_map` calls run inline rather than oversubscribing).
+//!
+//! Determinism: `parallel_map(n, f)` returns exactly
+//! `(0..n).map(f).collect()` whenever `f(i)` depends only on `i` — the
+//! scheduling order varies between runs, the output order never does.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = coldtall_par::parallel_map(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// Items-per-thread threshold below which the scheduling overhead is
+/// not worth paying and the map runs inline.
+const MIN_ITEMS_FOR_PARALLEL: usize = 2;
+
+/// Explicit thread-count override (0 = not set; see [`set_max_threads`]).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while this thread is executing inside a pool worker; nested
+    /// [`parallel_map`] calls then run sequentially instead of spawning
+    /// a second tier of threads.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn detected_parallelism() -> usize {
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        std::env::var("COLDTALL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+    })
+}
+
+/// The number of worker threads a [`parallel_map`] call will use.
+///
+/// Resolution order: [`set_max_threads`] override, then the
+/// `COLDTALL_THREADS` environment variable (read once), then
+/// [`std::thread::available_parallelism`]. Always at least 1.
+#[must_use]
+pub fn max_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => detected_parallelism(),
+        n => n,
+    }
+}
+
+/// Overrides the worker-thread count process-wide (`0` restores
+/// auto-detection). Used by the timing harness to compare a genuinely
+/// sequential run (1 thread at every level) against a parallel one.
+pub fn set_max_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
+}
+
+/// Whether the calling thread is already inside a pool worker (nested
+/// parallel regions run inline).
+#[must_use]
+pub fn in_worker() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Maps `f` over `0..n` across all available cores, returning results
+/// in index order.
+///
+/// Work is distributed by an atomic stealing index (each worker claims
+/// the next unclaimed item), so heterogeneous item costs balance
+/// automatically; each result is written into its own pre-sized slot,
+/// so the output order is deterministic regardless of scheduling.
+/// Falls back to an inline sequential map when `n` is small, only one
+/// thread is available, or the caller is itself a pool worker.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` once all workers have
+/// stopped (via [`std::thread::scope`]).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = max_threads().min(n);
+    if threads <= 1 || n < MIN_ITEMS_FOR_PARALLEL || in_worker() {
+        return (0..n).map(f).collect();
+    }
+
+    let mut slots: Vec<OnceLock<T>> = Vec::new();
+    slots.resize_with(n, OnceLock::new);
+    let next = AtomicUsize::new(0);
+    let (slots_ref, next_ref, f_ref) = (&slots, &next, &f);
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                IN_POOL.with(|flag| flag.set(true));
+                loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f_ref(i);
+                    assert!(
+                        slots_ref[i].set(value).is_ok(),
+                        "work item {i} claimed twice"
+                    );
+                }
+                IN_POOL.with(|flag| flag.set(false));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled by a worker"))
+        .collect()
+}
+
+/// Maps `f` over a slice in parallel, preserving order (a shorthand for
+/// [`parallel_map`] over indices).
+pub fn parallel_map_slice<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send + Sync,
+    F: Fn(&I) -> T + Sync,
+{
+    parallel_map(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn matches_sequential_map() {
+        let par = parallel_map(1000, |i| i * 3 + 1);
+        let seq: Vec<_> = (0..1000).map(|i| i * 3 + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn slice_variant_preserves_order() {
+        let words = ["cold", "or", "tall"];
+        let lens = parallel_map_slice(&words, |w| w.len());
+        assert_eq!(lens, vec![4, 2, 4]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        let n = 500;
+        let _ = parallel_map(n, |i| {
+            assert!(seen.lock().unwrap().insert(i), "item {i} ran twice");
+            i
+        });
+        assert_eq!(seen.lock().unwrap().len(), n);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let rows = parallel_map(4, |i| parallel_map(4, move |j| i * 10 + j));
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
+        assert!(!in_worker(), "flag must reset after the region ends");
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        // Relaxed check: the override store/load path, not detection.
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

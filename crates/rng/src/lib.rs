@@ -1,0 +1,182 @@
+//! Deterministic std-only pseudo-random numbers for coldtall.
+//!
+//! The build environment is offline, so the workspace cannot depend on
+//! the `rand` crate; this module provides the tiny surface the
+//! synthetic-workload generator and the Monte-Carlo variation study
+//! need: a fast, seedable, high-quality 64-bit generator.
+//!
+//! The algorithm is xoshiro256++ (Blackman & Vigna, 2019) — the same
+//! generator `rand`'s `SmallRng` uses on 64-bit targets — seeded
+//! through SplitMix64 exactly as `SeedableRng::seed_from_u64` does, so
+//! statistical quality matches what the code was written against.
+//! Sequences are fully determined by the seed; there is no global
+//! state and no entropy source.
+//!
+//! # Examples
+//!
+//! ```
+//! use coldtall_rng::SmallRng;
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let f = a.gen_f64();
+//! assert!((0.0..1.0).contains(&f));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// A small, fast, seedable xoshiro256++ generator.
+///
+/// Not cryptographically secure — it drives synthetic workloads and
+/// Monte-Carlo sampling, nothing security-sensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+/// One step of the SplitMix64 sequence (used for seeding).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator whose state is derived from `seed` via
+    /// SplitMix64, so nearby seeds still yield uncorrelated streams.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits: exactly representable, uniform on a
+        // 2^-53 grid.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `u64` in `range` (half-open), bias-free via rejection
+    /// on the widening multiply (Lemire's method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Multiply-shift maps 64 uniform bits onto [0, span); reject
+        // the low-product fringe that would over-represent small values.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(span);
+            #[allow(clippy::cast_possible_truncation)]
+            let low = wide as u64;
+            if low >= threshold {
+                #[allow(clippy::cast_possible_truncation)]
+                return range.start + (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(42);
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(43);
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_fills_it() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let v = rng.gen_range(5..15);
+            assert!((5..15).contains(&v));
+            counts[usize::try_from(v - 5).unwrap()] += 1;
+        }
+        for &c in &counts {
+            // Each bucket expects 10_000; allow 10% slack.
+            assert!((9_000..=11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "fraction = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(4..4);
+    }
+}

@@ -1,8 +1,7 @@
 //! Synthetic address-stream generation.
 
 use coldtall_cachesim::MemoryAccess;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use coldtall_rng::SmallRng;
 
 /// Parameters of a synthetic memory-reference stream.
 ///
@@ -128,7 +127,7 @@ impl AccessGenerator {
     }
 
     fn next_line(&mut self) -> u64 {
-        if self.rng.gen::<f64>() < self.params.hot_probability {
+        if self.rng.gen_f64() < self.params.hot_probability {
             // Hot-set access: uniform within the hot region.
             self.rng.gen_range(0..self.hot_lines())
         } else {
@@ -153,13 +152,13 @@ impl Iterator for AccessGenerator {
         // cores contend on the same lines.
         const SHARED_BASE: u64 = 0xFF << 40;
         let address = if self.params.shared_fraction > 0.0
-            && self.rng.gen::<f64>() < self.params.shared_fraction
+            && self.rng.gen_f64() < self.params.shared_fraction
         {
             SHARED_BASE + (self.next_line() % 4096) * LINE_BYTES
         } else {
             self.base + self.next_line() * LINE_BYTES
         };
-        let access = if self.rng.gen::<f64>() < self.params.write_fraction {
+        let access = if self.rng.gen_f64() < self.params.write_fraction {
             MemoryAccess::data_write(self.core, address)
         } else {
             MemoryAccess::data_read(self.core, address)

@@ -1,6 +1,9 @@
-//! Property-based invariants across the stack (proptest).
-
-use proptest::prelude::*;
+//! Property-style invariants across the stack.
+//!
+//! Formerly proptest-driven; the offline workspace carries no external
+//! crates, so each property now runs over a deterministic grid plus a
+//! seeded sample from `coldtall-rng` — same invariants, reproducible
+//! cases, zero dependencies.
 
 use coldtall::array::{ArraySpec, Objective};
 use coldtall::cachesim::{CacheConfig, SetAssociativeCache};
@@ -8,62 +11,84 @@ use coldtall::cell::{CellModel, MemoryTechnology, Tentpole};
 use coldtall::cryo::CoolingSystem;
 use coldtall::tech::{copper_resistivity_ratio, Mosfet, OperatingPoint, ProcessNode};
 use coldtall::units::{Capacity, Kelvin, Watts};
+use coldtall_rng::SmallRng;
 
 fn node() -> ProcessNode {
     ProcessNode::ptm_22nm_hp()
 }
 
-fn any_tech() -> impl Strategy<Value = MemoryTechnology> {
-    prop_oneof![
-        Just(MemoryTechnology::Sram),
-        Just(MemoryTechnology::Edram3T),
-        Just(MemoryTechnology::Pcm),
-        Just(MemoryTechnology::SttRam),
-        Just(MemoryTechnology::Rram),
-    ]
+const ALL_TECHS: [MemoryTechnology; 5] = [
+    MemoryTechnology::Sram,
+    MemoryTechnology::Edram3T,
+    MemoryTechnology::Pcm,
+    MemoryTechnology::SttRam,
+    MemoryTechnology::Rram,
+];
+
+const BOTH_TENTPOLES: [Tentpole; 2] = [Tentpole::Optimistic, Tentpole::Pessimistic];
+
+/// Draws `n` samples uniformly from `lo..hi` with a fixed seed, so a
+/// failure names a reproducible case.
+fn uniform_samples(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| lo + rng.gen_f64() * (hi - lo)).collect()
 }
 
-fn any_tentpole() -> impl Strategy<Value = Tentpole> {
-    prop_oneof![Just(Tentpole::Optimistic), Just(Tentpole::Pessimistic)]
+#[test]
+fn resistivity_monotone_and_positive() {
+    for &t in &uniform_samples(1, 64, 60.0, 400.0) {
+        for dt in [1.0, 10.0, 50.0] {
+            let lo = copper_resistivity_ratio(t);
+            let hi = copper_resistivity_ratio(t + dt);
+            assert!(lo > 0.0, "ratio must be positive at {t} K");
+            assert!(hi >= lo, "ratio must be monotone at {t} + {dt} K");
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn resistivity_monotone_and_positive(t in 60.0f64..400.0, dt in 1.0f64..50.0) {
-        let lo = copper_resistivity_ratio(t);
-        let hi = copper_resistivity_ratio(t + dt);
-        prop_assert!(lo > 0.0);
-        prop_assert!(hi >= lo);
+#[test]
+fn device_leakage_monotone_in_temperature() {
+    let n = node();
+    let dev = Mosfet::nmos(&n);
+    for &t in &uniform_samples(2, 64, 77.0, 380.0) {
+        for dt in [2.0, 20.0] {
+            let cold = dev.leakage_current_per_um(&OperatingPoint::nominal(&n, Kelvin::new(t)));
+            let warm =
+                dev.leakage_current_per_um(&OperatingPoint::nominal(&n, Kelvin::new(t + dt)));
+            assert!(
+                warm.get() >= cold.get(),
+                "leakage not monotone at {t} + {dt} K"
+            );
+        }
     }
+}
 
-    #[test]
-    fn device_leakage_monotone_in_temperature(t in 77.0f64..380.0, dt in 2.0f64..20.0) {
-        let n = node();
-        let dev = Mosfet::nmos(&n);
-        let cold = dev.leakage_current_per_um(&OperatingPoint::nominal(&n, Kelvin::new(t)));
-        let warm = dev.leakage_current_per_um(&OperatingPoint::nominal(&n, Kelvin::new(t + dt)));
-        prop_assert!(warm.get() >= cold.get());
+#[test]
+fn cell_leakage_never_negative() {
+    let n = node();
+    for tech in ALL_TECHS {
+        for tentpole in BOTH_TENTPOLES {
+            let cell = CellModel::tentpole(tech, tentpole, &n);
+            for &t in &uniform_samples(3, 16, 77.0, 400.0) {
+                let op = OperatingPoint::cryo_optimized(&n, Kelvin::new(t));
+                assert!(
+                    cell.leakage_power(&n, &op).get() >= 0.0,
+                    "negative leakage: {tech:?}/{tentpole:?} at {t} K"
+                );
+            }
+        }
     }
+}
 
-    #[test]
-    fn cell_leakage_never_negative(tech in any_tech(), tentpole in any_tentpole(), t in 77.0f64..400.0) {
-        let n = node();
-        let cell = CellModel::tentpole(tech, tentpole, &n);
-        let op = OperatingPoint::cryo_optimized(&n, Kelvin::new(t));
-        prop_assert!(cell.leakage_power(&n, &op).get() >= 0.0);
-    }
-
-    #[test]
-    fn array_metrics_positive_for_any_study_point(
-        tech in any_tech(),
-        tentpole in any_tentpole(),
-        dies_idx in 0usize..4,
-        t in 77.0f64..390.0,
-    ) {
-        let dies = [1u8, 2, 4, 8][dies_idx];
-        let n = node();
+#[test]
+fn array_metrics_positive_for_any_study_point() {
+    let n = node();
+    let mut rng = SmallRng::seed_from_u64(4);
+    for _ in 0..64 {
+        let tech = ALL_TECHS[usize::try_from(rng.gen_range(0..5)).unwrap()];
+        let tentpole = BOTH_TENTPOLES[usize::try_from(rng.gen_range(0..2)).unwrap()];
+        let dies = [1u8, 2, 4, 8][usize::try_from(rng.gen_range(0..4)).unwrap()];
+        let t = 77.0 + rng.gen_f64() * (390.0 - 77.0);
         let cell = CellModel::tentpole(tech, tentpole, &n);
         let mut spec = ArraySpec::llc_16mib(cell, &n);
         if dies > 1 {
@@ -72,79 +97,125 @@ proptest! {
         let a = spec
             .at_temperature_cryo(Kelvin::new(t))
             .characterize(Objective::EnergyDelayProduct);
-        prop_assert!(a.read_latency.get() > 0.0);
-        prop_assert!(a.write_latency.get() > 0.0);
-        prop_assert!(a.read_energy.get() > 0.0);
-        prop_assert!(a.write_energy.get() > 0.0);
-        prop_assert!(a.leakage_power.get() >= 0.0);
-        prop_assert!(a.footprint.get() > 0.0);
-        prop_assert!(a.array_efficiency > 0.0 && a.array_efficiency < 1.0);
-        prop_assert!(a.write_energy >= a.read_energy * 0.5);
+        let case = format!("{tech:?}/{tentpole:?}/{dies} dies at {t} K");
+        assert!(a.read_latency.get() > 0.0, "read latency: {case}");
+        assert!(a.write_latency.get() > 0.0, "write latency: {case}");
+        assert!(a.read_energy.get() > 0.0, "read energy: {case}");
+        assert!(a.write_energy.get() > 0.0, "write energy: {case}");
+        assert!(a.leakage_power.get() >= 0.0, "leakage: {case}");
+        assert!(a.footprint.get() > 0.0, "footprint: {case}");
+        assert!(
+            a.array_efficiency > 0.0 && a.array_efficiency < 1.0,
+            "efficiency: {case}"
+        );
+        assert!(
+            a.write_energy >= a.read_energy * 0.5,
+            "energy order: {case}"
+        );
     }
+}
 
-    #[test]
-    fn area_monotone_in_capacity(mib_small in 1u64..8, factor in 2u64..4) {
-        let n = node();
-        let small = ArraySpec::new(
-            CellModel::sram(&n), &n, Capacity::from_mebibytes(mib_small),
-        ).characterize(Objective::EnergyDelayProduct);
-        let large = ArraySpec::new(
-            CellModel::sram(&n), &n, Capacity::from_mebibytes(mib_small * factor),
-        ).characterize(Objective::EnergyDelayProduct);
-        prop_assert!(large.footprint.get() > small.footprint.get());
-        prop_assert!(large.leakage_power.get() > small.leakage_power.get());
-    }
-
-    #[test]
-    fn stacking_never_grows_the_footprint(tech in any_tech(), tentpole in any_tentpole()) {
-        let n = node();
-        let cell = CellModel::tentpole(tech, tentpole, &n);
-        let one = ArraySpec::llc_16mib(cell.clone(), &n)
+#[test]
+fn area_monotone_in_capacity() {
+    let n = node();
+    for mib_small in 1u64..8 {
+        for factor in [2u64, 3] {
+            let small =
+                ArraySpec::new(CellModel::sram(&n), &n, Capacity::from_mebibytes(mib_small))
+                    .characterize(Objective::EnergyDelayProduct);
+            let large = ArraySpec::new(
+                CellModel::sram(&n),
+                &n,
+                Capacity::from_mebibytes(mib_small * factor),
+            )
             .characterize(Objective::EnergyDelayProduct);
-        let eight = ArraySpec::llc_16mib(cell, &n)
-            .with_dies(8)
-            .characterize(Objective::EnergyDelayProduct);
-        prop_assert!(eight.footprint.get() <= one.footprint.get());
+            assert!(
+                large.footprint.get() > small.footprint.get(),
+                "footprint at {mib_small} MiB x{factor}"
+            );
+            assert!(
+                large.leakage_power.get() > small.leakage_power.get(),
+                "leakage at {mib_small} MiB x{factor}"
+            );
+        }
     }
+}
 
-    #[test]
-    fn cooling_overhead_is_carnot_shaped(p in 0.0f64..100.0, t in 60.0f64..400.0) {
-        let power = Watts::new(p);
-        for cooling in CoolingSystem::ALL {
-            let wall = cooling.wall_power(power, Kelvin::new(t));
-            prop_assert!(wall.get() >= p);
-            if t >= 300.0 {
-                prop_assert!((wall.get() - p).abs() < 1e-12);
-            }
-            if t <= 77.0 && p > 0.0 {
-                prop_assert!(wall.get() >= p * (1.0 + cooling.overhead_factor()));
+#[test]
+fn stacking_never_grows_the_footprint() {
+    let n = node();
+    for tech in ALL_TECHS {
+        for tentpole in BOTH_TENTPOLES {
+            let cell = CellModel::tentpole(tech, tentpole, &n);
+            let one =
+                ArraySpec::llc_16mib(cell.clone(), &n).characterize(Objective::EnergyDelayProduct);
+            let eight = ArraySpec::llc_16mib(cell, &n)
+                .with_dies(8)
+                .characterize(Objective::EnergyDelayProduct);
+            assert!(
+                eight.footprint.get() <= one.footprint.get(),
+                "stacking grew footprint: {tech:?}/{tentpole:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cooling_overhead_is_carnot_shaped() {
+    let powers = uniform_samples(5, 16, 0.0, 100.0);
+    let temps = uniform_samples(6, 16, 60.0, 400.0);
+    for &p in &powers {
+        for &t in &temps {
+            let power = Watts::new(p);
+            for cooling in CoolingSystem::ALL {
+                let wall = cooling.wall_power(power, Kelvin::new(t));
+                assert!(wall.get() >= p, "wall below device at {p} W, {t} K");
+                if t >= 300.0 {
+                    assert!(
+                        (wall.get() - p).abs() < 1e-12,
+                        "warm operation must be free at {t} K"
+                    );
+                }
+                if t <= 77.0 && p > 0.0 {
+                    assert!(
+                        wall.get() >= p * (1.0 + cooling.overhead_factor()),
+                        "cryo overhead too small at {p} W, {t} K"
+                    );
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn cache_hits_after_fill_regardless_of_geometry(
-        ways_pow in 0u32..4,
-        sets_pow in 2u32..6,
-        addr in 0u64..1_000_000_000,
-    ) {
-        let ways = 1u32 << ways_pow;
-        let sets = 1u64 << sets_pow;
-        let capacity = Capacity::from_bytes(sets * u64::from(ways) * 64);
-        let mut cache = SetAssociativeCache::new(CacheConfig::new(capacity, ways, 64));
-        cache.access(addr, false);
-        prop_assert!(cache.access(addr, false).is_hit());
-        prop_assert!(cache.contains(addr));
+#[test]
+fn cache_hits_after_fill_regardless_of_geometry() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for ways_pow in 0u32..4 {
+        for sets_pow in 2u32..6 {
+            let ways = 1u32 << ways_pow;
+            let sets = 1u64 << sets_pow;
+            let capacity = Capacity::from_bytes(sets * u64::from(ways) * 64);
+            let mut cache = SetAssociativeCache::new(CacheConfig::new(capacity, ways, 64));
+            let addr = rng.gen_range(0..1_000_000_000);
+            cache.access(addr, false);
+            assert!(cache.access(addr, false).is_hit());
+            assert!(cache.contains(addr));
+        }
     }
+}
 
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity(
-        accesses in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..500),
-    ) {
+#[test]
+fn cache_occupancy_never_exceeds_capacity() {
+    let mut rng = SmallRng::seed_from_u64(8);
+    for trial in 0..24 {
+        let len = usize::try_from(rng.gen_range(1..500)).unwrap();
+        let accesses: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.gen_range(0..1_000_000), rng.gen_bool(0.5)))
+            .collect();
         let capacity = Capacity::from_bytes(4 * 64 * 8);
         let mut cache = SetAssociativeCache::new(CacheConfig::new(capacity, 4, 64));
         let mut distinct = std::collections::HashSet::new();
-        for (addr, is_write) in accesses {
+        for &(addr, is_write) in &accesses {
             cache.access(addr, is_write);
             distinct.insert(addr / 64);
         }
@@ -153,11 +224,16 @@ proptest! {
             .iter()
             .filter(|line| cache.contains(**line * 64))
             .count() as u64;
-        prop_assert!(resident <= capacity.bytes() / 64);
+        assert!(
+            resident <= capacity.bytes() / 64,
+            "over-occupancy in trial {trial}"
+        );
     }
+}
 
-    #[test]
-    fn lru_recency_is_respected(tag_count in 3u64..10) {
+#[test]
+fn lru_recency_is_respected() {
+    for tag_count in 3u64..10 {
         // One-set cache of 2 ways: after touching tags 0..n in order,
         // only the last two survive.
         let capacity = Capacity::from_bytes(2 * 64);
@@ -165,29 +241,44 @@ proptest! {
         for tag in 0..tag_count {
             cache.access(tag * 64, false);
         }
-        prop_assert!(cache.contains((tag_count - 1) * 64));
-        prop_assert!(cache.contains((tag_count - 2) * 64));
-        prop_assert!(!cache.contains((tag_count - 3) * 64));
+        assert!(cache.contains((tag_count - 1) * 64));
+        assert!(cache.contains((tag_count - 2) * 64));
+        assert!(!cache.contains((tag_count - 3) * 64));
     }
+}
 
-    #[test]
-    fn tentpole_optimism_dominates_at_array_level(tech_idx in 0usize..3, dies_idx in 0usize..4) {
-        let tech = MemoryTechnology::ENVM_SET[tech_idx];
-        let dies = [1u8, 2, 4, 8][dies_idx];
-        let n = node();
-        let build = |tp| {
-            let mut spec = ArraySpec::llc_16mib(CellModel::tentpole(tech, tp, &n), &n);
-            if dies > 1 {
-                spec = spec.with_dies(dies);
-            }
-            spec.characterize(Objective::EnergyDelayProduct)
-        };
-        let opt = build(Tentpole::Optimistic);
-        let pess = build(Tentpole::Pessimistic);
-        prop_assert!(opt.read_latency <= pess.read_latency);
-        prop_assert!(opt.write_latency <= pess.write_latency);
-        prop_assert!(opt.read_energy <= pess.read_energy);
-        prop_assert!(opt.write_energy <= pess.write_energy);
-        prop_assert!(opt.footprint.get() <= pess.footprint.get());
+#[test]
+fn tentpole_optimism_dominates_at_array_level() {
+    let n = node();
+    for tech in MemoryTechnology::ENVM_SET {
+        for dies in [1u8, 2, 4, 8] {
+            let build = |tp| {
+                let mut spec = ArraySpec::llc_16mib(CellModel::tentpole(tech, tp, &n), &n);
+                if dies > 1 {
+                    spec = spec.with_dies(dies);
+                }
+                spec.characterize(Objective::EnergyDelayProduct)
+            };
+            let opt = build(Tentpole::Optimistic);
+            let pess = build(Tentpole::Pessimistic);
+            let case = format!("{tech:?} at {dies} dies");
+            assert!(
+                opt.read_latency <= pess.read_latency,
+                "read latency: {case}"
+            );
+            assert!(
+                opt.write_latency <= pess.write_latency,
+                "write latency: {case}"
+            );
+            assert!(opt.read_energy <= pess.read_energy, "read energy: {case}");
+            assert!(
+                opt.write_energy <= pess.write_energy,
+                "write energy: {case}"
+            );
+            assert!(
+                opt.footprint.get() <= pess.footprint.get(),
+                "footprint: {case}"
+            );
+        }
     }
 }
