@@ -16,6 +16,10 @@
 //!
 //! Usage: `bench_sweep [--iters N] [--out PATH]`
 
+// A harness binary: warnings go to stderr so `--out -`-style stdout
+// redirection stays clean.
+#![allow(clippy::print_stderr)]
+
 use std::time::Instant;
 
 use coldtall_bench::timing::JsonObject;
@@ -108,6 +112,11 @@ fn main() {
 
     let ok_study = compare("study", iters, &study, &mut json);
     let ok_expanded = compare("study_x_temps", iters, &expanded, &mut json);
+
+    // Fold the engine's telemetry (cache hit/miss, pool utilization,
+    // span timings accumulated across every timed sweep above) into
+    // the report, so the perf trajectory carries its own explanation.
+    json.raw("metrics", &coldtall_obs::global().render_json());
 
     if let Err(err) = std::fs::write(&out, json.render()) {
         eprintln!("warning: could not write {out}: {err}");

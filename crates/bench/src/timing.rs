@@ -98,6 +98,15 @@ impl JsonObject {
         self
     }
 
+    /// Embeds a pre-rendered JSON value verbatim (used to fold the
+    /// metrics registry's nested export into the flat report). The
+    /// caller is responsible for `value` being valid JSON.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields
+            .push((key.to_string(), value.trim_end().to_string()));
+        self
+    }
+
     /// Renders the object with one field per line.
     #[must_use]
     pub fn render(&self) -> String {

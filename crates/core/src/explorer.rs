@@ -1,6 +1,10 @@
 //! The exploration driver: configurations x benchmarks.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use coldtall_array::{ArrayCharacterization, Objective};
+use coldtall_obs::{Counter, Histogram, Registry, Span};
 use coldtall_tech::ProcessNode;
 use coldtall_units::Watts;
 use coldtall_workloads::{spec2017, Benchmark};
@@ -8,7 +12,7 @@ use coldtall_workloads::{spec2017, Benchmark};
 use crate::config::MemoryConfig;
 use crate::evaluate::{device_power, LlcEvaluation};
 use crate::lifetime::lifetime_years;
-use crate::parcache::ShardedCache;
+use crate::parcache::{CacheMetrics, ShardedCache};
 use crate::pool;
 
 /// The reference benchmark all power results are normalized to, as in
@@ -43,6 +47,44 @@ pub struct Explorer {
     cache: ShardedCache<ArrayCharacterization>,
     baseline: ArrayCharacterization,
     reference_power: Watts,
+    metrics: ExplorerMetrics,
+}
+
+/// Registry handles for the explorer's own telemetry.
+///
+/// Counters hold logical-work counts (calls, configs, rows) that are
+/// deterministic under any thread count; the run-dependent part —
+/// where the wall-clock went — lives in span histograms.
+#[derive(Debug)]
+struct ExplorerMetrics {
+    /// Probes of the characterization cache (hit or miss alike).
+    characterize_calls: Arc<Counter>,
+    /// Benchmark evaluations performed.
+    evaluate_calls: Arc<Counter>,
+    /// Configurations submitted to sweeps.
+    sweep_configs: Arc<Counter>,
+    /// Evaluation rows produced by sweeps.
+    sweep_rows: Arc<Counter>,
+    /// Durations of actual (missed) array characterizations.
+    characterize_span: Arc<Histogram>,
+    /// Durations of single-benchmark evaluations.
+    evaluate_span: Arc<Histogram>,
+    /// Durations of whole sweeps.
+    sweep_span: Arc<Histogram>,
+}
+
+impl ExplorerMetrics {
+    fn registered(registry: &Registry) -> Self {
+        Self {
+            characterize_calls: registry.counter("explorer.characterize.calls"),
+            evaluate_calls: registry.counter("explorer.evaluate.calls"),
+            sweep_configs: registry.counter("sweep.configs"),
+            sweep_rows: registry.counter("sweep.rows"),
+            characterize_span: registry.span("characterize"),
+            evaluate_span: registry.span("evaluate"),
+            sweep_span: registry.span("sweep"),
+        }
+    }
 }
 
 impl Explorer {
@@ -53,7 +95,9 @@ impl Explorer {
         Self::new(ProcessNode::ptm_22nm_hp(), Objective::EnergyDelayProduct)
     }
 
-    /// Creates an explorer with an explicit node and array objective.
+    /// Creates an explorer with an explicit node and array objective,
+    /// reporting into the process-wide metrics registry
+    /// ([`coldtall_obs::global`]).
     ///
     /// # Panics
     ///
@@ -61,6 +105,21 @@ impl Explorer {
     /// suite (it never is).
     #[must_use]
     pub fn new(node: ProcessNode, objective: Objective) -> Self {
+        Self::with_registry(node, objective, coldtall_obs::global())
+    }
+
+    /// Creates an explorer reporting into an explicit metrics registry.
+    ///
+    /// Tests use a private [`Registry`] so counter assertions cannot be
+    /// perturbed by other explorers (or other tests of the same binary)
+    /// feeding the global one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference benchmark is missing from the workload
+    /// suite (it never is).
+    #[must_use]
+    pub fn with_registry(node: ProcessNode, objective: Objective, registry: &Registry) -> Self {
         let baseline = MemoryConfig::sram_350k().characterize(&node, objective);
         let reference = spec2017()
             .iter()
@@ -70,9 +129,10 @@ impl Explorer {
         Self {
             node,
             objective,
-            cache: ShardedCache::new(),
+            cache: ShardedCache::with_metrics(CacheMetrics::registered(registry, "cache")),
             baseline,
             reference_power,
+            metrics: ExplorerMetrics::registered(registry),
         }
     }
 
@@ -108,6 +168,12 @@ impl Explorer {
         self.cache.len()
     }
 
+    /// The characterization cache's hit/miss/insert telemetry.
+    #[must_use]
+    pub fn cache_metrics(&self) -> &CacheMetrics {
+        self.cache.metrics()
+    }
+
     /// Characterizes a configuration's array (cached, thread-safe).
     ///
     /// On a miss the characterization runs without any shard lock held;
@@ -116,24 +182,39 @@ impl Explorer {
     /// the same value anyway).
     #[must_use]
     pub fn characterize(&self, config: &MemoryConfig) -> ArrayCharacterization {
+        self.metrics.characterize_calls.inc();
         self.cache.get_or_insert_with(&config.label(), || {
+            // The span times only real characterization work, so its
+            // sample count equals the cache's miss count.
+            let _span = Span::enter(self.metrics.characterize_span.clone());
             config.characterize(&self.node, self.objective)
         })
     }
 
     /// Warms the characterization cache for every distinct configuration
-    /// in `configs`, one pool item per configuration.
+    /// in `configs`, one pool item per distinct label.
     ///
     /// Called by the parallel sweep before fanning out over
     /// (configuration, benchmark) pairs, so co-scheduled workers of the
-    /// same configuration do not redundantly characterize it.
+    /// same configuration do not redundantly characterize it. Labels
+    /// are deduplicated first: each distinct label is probed by exactly
+    /// one pool item, which keeps the cache's hit/miss counters
+    /// deterministic under any thread count (two workers racing the
+    /// same missing label would otherwise both count a miss).
     pub fn precharacterize(&self, configs: &[MemoryConfig]) {
-        let _ = pool::parallel_map_slice(configs, |config| self.characterize(config));
+        let mut seen = HashSet::new();
+        let distinct: Vec<&MemoryConfig> = configs
+            .iter()
+            .filter(|config| seen.insert(config.label()))
+            .collect();
+        let _ = pool::parallel_map_slice(&distinct, |config| self.characterize(config));
     }
 
     /// Evaluates one configuration under one benchmark's traffic.
     #[must_use]
     pub fn evaluate(&self, config: &MemoryConfig, benchmark: &Benchmark) -> LlcEvaluation {
+        let _span = Span::enter(self.metrics.evaluate_span.clone());
+        self.metrics.evaluate_calls.inc();
         let array = self.characterize(config);
         let cell = config.to_spec(&self.node).cell().clone();
         let years = lifetime_years(
@@ -161,31 +242,45 @@ impl Explorer {
     }
 
     /// Evaluates the given configurations under every SPEC2017
-    /// benchmark, in parallel when the machine has more than one CPU
-    /// (results are ordered and valued exactly as the sequential path).
+    /// benchmark.
+    ///
+    /// Always the pooled path: [`crate::pool::parallel_map`] itself
+    /// degrades to an inline loop on 1-CPU machines, so routing
+    /// unconditionally through [`Explorer::par_sweep_configs`] keeps
+    /// the logical call pattern — and with it every exported counter —
+    /// identical under any thread count.
     #[must_use]
     pub fn sweep_configs(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
-        if pool::max_threads() > 1 {
-            self.par_sweep_configs(configs)
-        } else {
-            self.sweep_configs_seq(configs)
-        }
+        self.par_sweep_configs(configs)
     }
 
-    /// The sequential reference sweep: a plain nested loop, no pool.
+    /// The sequential reference sweep: plain loops, no pool.
     ///
-    /// Kept as the determinism oracle for [`Explorer::par_sweep_configs`]
-    /// and as the fallback on 1-CPU machines.
+    /// Kept as the determinism oracle for [`Explorer::par_sweep_configs`].
+    /// It warms each distinct label once before the nested evaluation
+    /// loop — mirroring the parallel precharacterize phase — so the
+    /// cache's hit/miss/insert counters come out identical on both
+    /// paths, not just the evaluation rows.
     #[must_use]
     pub fn sweep_configs_seq(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
-        configs
+        let _span = Span::enter(self.metrics.sweep_span.clone());
+        self.metrics.sweep_configs.add(configs.len() as u64);
+        let mut seen = HashSet::new();
+        for config in configs {
+            if seen.insert(config.label()) {
+                let _ = self.characterize(config);
+            }
+        }
+        let rows: Vec<LlcEvaluation> = configs
             .iter()
             .flat_map(|config| {
                 spec2017()
                     .iter()
                     .map(move |benchmark| self.evaluate(config, benchmark))
             })
-            .collect()
+            .collect();
+        self.metrics.sweep_rows.add(rows.len() as u64);
+        rows
     }
 
     /// Evaluates the (configuration x benchmark) cross-product on the
@@ -199,12 +294,16 @@ impl Explorer {
     /// arithmetic over the shared cache.
     #[must_use]
     pub fn par_sweep_configs(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
+        let _span = Span::enter(self.metrics.sweep_span.clone());
+        self.metrics.sweep_configs.add(configs.len() as u64);
         self.precharacterize(configs);
         let benchmarks = spec2017();
-        pool::parallel_map(configs.len() * benchmarks.len(), |index| {
+        let rows = pool::parallel_map(configs.len() * benchmarks.len(), |index| {
             let (c, b) = pool::unflatten(index, benchmarks.len());
             self.evaluate(&configs[c], &benchmarks[b])
-        })
+        });
+        self.metrics.sweep_rows.add(rows.len() as u64);
+        rows
     }
 }
 

@@ -52,7 +52,7 @@ pub use config::MemoryConfig;
 pub use evaluate::LlcEvaluation;
 pub use explorer::Explorer;
 pub use hybrid::HybridLlc;
-pub use parcache::ShardedCache;
+pub use parcache::{CacheMetrics, ShardedCache};
 pub use pareto::{pareto_front, recommend, Constraints};
 pub use thermal_schedule::{phase_evaluation, plan_schedule, TemperatureSchedule, WorkloadPhase};
 pub use variation::{monte_carlo, sample_cells, MetricBand, VariationSummary};

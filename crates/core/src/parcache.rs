@@ -19,14 +19,133 @@
 //! * lock poisoning is ignored (a panicking characterization leaves
 //!   the map in a consistent state: entries are only ever inserted
 //!   whole).
+//!
+//! Every probe is counted (one hit or miss, plus one insert per landed
+//! publication) through [`CacheMetrics`] — per-stripe and aggregate —
+//! so sweeps can report exactly which evaluations were memoized versus
+//! recomputed. Counting is a pair of relaxed atomic adds per probe;
+//! caches built with [`ShardedCache::new`] count into free-floating
+//! counters that no exporter ever reads.
 
 use std::collections::HashMap;
-use std::sync::{PoisonError, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use coldtall_obs::{Counter, Registry};
 
 /// Number of lock stripes. A small power of two keeps the modulo cheap
 /// while comfortably exceeding any realistic worker count's collision
 /// rate (the study set has 31 distinct configuration labels).
 const SHARDS: usize = 16;
+
+/// Probe counters for one lock stripe.
+#[derive(Debug)]
+struct StripeMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
+}
+
+/// Registry-backed telemetry for a [`ShardedCache`]: aggregate and
+/// per-stripe hit/miss/insert counters.
+///
+/// Every public probe counts exactly one hit or one miss, and every
+/// publication that actually lands in the map counts one insert, so
+/// `hits + misses == probes` and `inserts == distinct keys` hold at
+/// all times. All counts are of *logical* cache traffic — under the
+/// explorer's precharacterize/warmup discipline they are deterministic
+/// for a given workload regardless of thread count (see `DESIGN.md`
+/// § Observability).
+#[derive(Debug)]
+pub struct CacheMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
+    stripes: Vec<StripeMetrics>,
+}
+
+impl CacheMetrics {
+    /// Counters registered under `prefix` (e.g. `cache.hits`,
+    /// `cache.stripe07.misses`) in `registry`. Two caches sharing a
+    /// registry and prefix share counters, prometheus-style.
+    #[must_use]
+    pub fn registered(registry: &Registry, prefix: &str) -> Self {
+        Self {
+            hits: registry.counter(&format!("{prefix}.hits")),
+            misses: registry.counter(&format!("{prefix}.misses")),
+            inserts: registry.counter(&format!("{prefix}.inserts")),
+            stripes: (0..SHARDS)
+                .map(|i| StripeMetrics {
+                    hits: registry.counter(&format!("{prefix}.stripe{i:02}.hits")),
+                    misses: registry.counter(&format!("{prefix}.stripe{i:02}.misses")),
+                    inserts: registry.counter(&format!("{prefix}.stripe{i:02}.inserts")),
+                })
+                .collect(),
+        }
+    }
+
+    /// Free-floating counters attached to no registry: the counting
+    /// cost is identical, the values are simply not exported. Used by
+    /// caches nobody asked to observe.
+    #[must_use]
+    pub fn unregistered() -> Self {
+        Self {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            inserts: Arc::new(Counter::new()),
+            stripes: (0..SHARDS)
+                .map(|_| StripeMetrics {
+                    hits: Arc::new(Counter::new()),
+                    misses: Arc::new(Counter::new()),
+                    inserts: Arc::new(Counter::new()),
+                })
+                .collect(),
+        }
+    }
+
+    fn hit(&self, stripe: usize) {
+        self.hits.inc();
+        self.stripes[stripe].hits.inc();
+    }
+
+    fn miss(&self, stripe: usize) {
+        self.misses.inc();
+        self.stripes[stripe].misses.inc();
+    }
+
+    fn insert(&self, stripe: usize) {
+        self.inserts.inc();
+        self.stripes[stripe].inserts.inc();
+    }
+
+    /// Total probe hits.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Total probe misses.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Total publications that landed in the map.
+    #[must_use]
+    pub fn inserts(&self) -> u64 {
+        self.inserts.get()
+    }
+
+    /// `(hits, misses, inserts)` of one stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stripe >= SHARDS`.
+    #[must_use]
+    pub fn stripe(&self, stripe: usize) -> (u64, u64, u64) {
+        let s = &self.stripes[stripe];
+        (s.hits.get(), s.misses.get(), s.inserts.get())
+    }
+}
 
 /// A concurrent string-keyed memo table with `SHARDS` lock stripes.
 ///
@@ -35,15 +154,30 @@ const SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct ShardedCache<V> {
     shards: Vec<RwLock<HashMap<String, V>>>,
+    metrics: CacheMetrics,
 }
 
 impl<V: Clone> ShardedCache<V> {
-    /// Creates an empty cache.
+    /// Creates an empty cache whose counters are attached to no
+    /// registry.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_metrics(CacheMetrics::unregistered())
+    }
+
+    /// Creates an empty cache reporting through `metrics`.
+    #[must_use]
+    pub fn with_metrics(metrics: CacheMetrics) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            metrics,
         }
+    }
+
+    /// The cache's telemetry (aggregate and per-stripe counters).
+    #[must_use]
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
     }
 
     /// FNV-1a over the key bytes: deterministic across processes (the
@@ -58,34 +192,47 @@ impl<V: Clone> ShardedCache<V> {
         (hash % SHARDS as u64) as usize
     }
 
-    fn shard(&self, key: &str) -> &RwLock<HashMap<String, V>> {
-        &self.shards[Self::shard_index(key)]
-    }
-
-    /// Returns a clone of the cached value, if present.
+    /// Returns a clone of the cached value, if present. Counts exactly
+    /// one hit or one miss against the key's stripe.
     #[must_use]
     pub fn get(&self, key: &str) -> Option<V> {
-        self.shard(key)
+        let stripe = Self::shard_index(key);
+        let found = self.shards[stripe]
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .get(key)
-            .cloned()
+            .cloned();
+        if found.is_some() {
+            self.metrics.hit(stripe);
+        } else {
+            self.metrics.miss(stripe);
+        }
+        found
     }
 
     /// Returns the cached value for `key`, computing and publishing it
     /// if absent. `compute` runs without any lock held; on a race the
     /// first published value wins and is returned to every racer.
+    ///
+    /// Counts one hit or miss for the initial probe (never both), and
+    /// one insert only for the publication that actually lands.
     pub fn get_or_insert_with(&self, key: &str, compute: impl FnOnce() -> V) -> V {
         if let Some(hit) = self.get(key) {
             return hit;
         }
         let value = compute();
-        self.shard(key)
+        let stripe = Self::shard_index(key);
+        match self.shards[stripe]
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .entry(key.to_string())
-            .or_insert(value)
-            .clone()
+        {
+            std::collections::hash_map::Entry::Occupied(existing) => existing.get().clone(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.metrics.insert(stripe);
+                slot.insert(value).clone()
+            }
+        }
     }
 
     /// Total entries across all shards.
@@ -158,6 +305,44 @@ mod tests {
             .filter(|s| !s.read().unwrap().is_empty())
             .count();
         assert!(occupied > 1, "all 200 keys landed in one shard");
+    }
+
+    #[test]
+    fn probes_count_hits_misses_and_inserts() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        assert_eq!(cache.get("a"), None); // miss
+        assert_eq!(cache.get_or_insert_with("a", || 1), 1); // miss + insert
+        assert_eq!(cache.get_or_insert_with("a", || 2), 1); // hit
+        assert_eq!(cache.get("a"), Some(1)); // hit
+        let m = cache.metrics();
+        assert_eq!((m.hits(), m.misses(), m.inserts()), (2, 2, 1));
+    }
+
+    #[test]
+    fn stripe_counters_sum_to_the_aggregates() {
+        let registry = coldtall_obs::Registry::new();
+        let cache: ShardedCache<usize> =
+            ShardedCache::with_metrics(CacheMetrics::registered(&registry, "cache"));
+        for i in 0..50 {
+            let _ = cache.get_or_insert_with(&format!("key-{i}"), || i); // misses
+            let _ = cache.get_or_insert_with(&format!("key-{i}"), || i); // hits
+        }
+        let m = cache.metrics();
+        let (mut hits, mut misses, mut inserts) = (0, 0, 0);
+        for stripe in 0..cache.shard_count() {
+            let (h, mi, ins) = m.stripe(stripe);
+            hits += h;
+            misses += mi;
+            inserts += ins;
+        }
+        assert_eq!((hits, misses, inserts), (m.hits(), m.misses(), m.inserts()));
+        assert_eq!((m.hits(), m.misses(), m.inserts()), (50, 50, 50));
+        // The registered names are visible to the registry's exporter.
+        assert_eq!(registry.counter_value("cache.hits"), Some(50));
+        assert!(registry
+            .counters()
+            .iter()
+            .any(|(name, _)| name.starts_with("cache.stripe")));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Scalar metrics: monotonic counters and point-in-time gauges.
+//!
+//! Both are a single `AtomicU64` with relaxed ordering — the registry
+//! never needs cross-metric ordering guarantees, only that each
+//! individual add lands exactly once (which `fetch_add` gives at any
+//! ordering). The semantic split matters more than the representation:
+//! counters hold *logical-work* counts that must come out bit-identical
+//! under any thread count, gauges hold values that may legitimately
+//! depend on scheduling (see `DESIGN.md` § Observability).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic event counter.
+///
+/// Increment-only between [`Counter::reset`] calls. Library code must
+/// only count events whose totals are scheduling-independent (cache
+/// probes, work items, rows produced), so that exported counter values
+/// are deterministic and can be byte-compared across runs with
+/// different thread counts.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Returns the counter to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time or run-dependent value.
+///
+/// Gauges are the designated home for anything whose value depends on
+/// scheduling — worker-pool spin-ups, inline fallbacks, the thread
+/// count actually used — keeping the counter namespace deterministic.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `n`.
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (gauges may accumulate run-dependent tallies).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Returns the gauge to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_sets_adds_and_resets() {
+        let g = Gauge::new();
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.add(3);
+        assert_eq!(g.get(), 10);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,0 +1,87 @@
+//! RAII span timers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// Times a scope and records the elapsed nanoseconds into a histogram
+/// when dropped.
+///
+/// The guard is deliberately minimal: entering is one `Instant::now()`,
+/// dropping is one more plus a lock-free histogram record, so spans can
+/// wrap every characterization and evaluation of a sweep without
+/// perturbing what they measure.
+///
+/// # Examples
+///
+/// ```
+/// let registry = coldtall_obs::Registry::new();
+/// let hist = registry.span("work");
+/// {
+///     let _span = coldtall_obs::Span::enter(hist.clone());
+/// } // recorded here
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing; the elapsed time is recorded into `histogram`
+    /// when the returned guard drops.
+    #[must_use]
+    pub fn enter(histogram: Arc<Histogram>) -> Self {
+        Self {
+            histogram,
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far (the drop records this same clock).
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.elapsed_ns();
+        self.histogram.record(elapsed);
+    }
+}
+
+/// Runs `f`, recording its duration into `histogram`.
+pub fn timed<T>(histogram: Arc<Histogram>, f: impl FnOnce() -> T) -> T {
+    let _span = Span::enter(histogram);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_exactly_one_sample() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let span = Span::enter(hist.clone());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            assert!(span.elapsed_ns() > 0);
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.max() >= 1_000_000, "slept >= 1ms");
+    }
+
+    #[test]
+    fn timed_passes_the_result_through() {
+        let hist = Arc::new(Histogram::new());
+        let out = timed(hist.clone(), || 6 * 7);
+        assert_eq!(out, 42);
+        assert_eq!(hist.count(), 1);
+    }
+}

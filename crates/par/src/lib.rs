@@ -12,7 +12,11 @@
 //!   leave a core idle while work remains,
 //! * automatic sequential fallback on 1-CPU machines, for trivially
 //!   small inputs, and inside an already-parallel region (nested
-//!   `parallel_map` calls run inline rather than oversubscribing).
+//!   `parallel_map` calls run inline rather than oversubscribing),
+//! * telemetry into the global `coldtall-obs` registry: a
+//!   deterministic `pool.tasks` counter (items submitted, inline or
+//!   not), `pool.spinups`/`pool.inline`/`pool.threads` gauges, and
+//!   per-worker `pool.worker.busy`/`pool.worker.idle` time histograms.
 //!
 //! Determinism: `parallel_map(n, f)` returns exactly
 //! `(0..n).map(f).collect()` whenever `f(i)` depends only on `i` — the
@@ -30,8 +34,11 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::thread;
+use std::time::Instant;
+
+use coldtall_obs::{Counter, Gauge, Histogram};
 
 /// Items-per-thread threshold below which the scheduling overhead is
 /// not worth paying and the map runs inline.
@@ -45,6 +52,44 @@ thread_local! {
     /// [`parallel_map`] calls then run sequentially instead of spawning
     /// a second tier of threads.
     static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Handles into the global metrics registry, resolved once.
+///
+/// Discipline (`DESIGN.md` § Observability): `pool.tasks` is a
+/// *counter* — it advances by `n` per [`parallel_map`] call whether the
+/// region runs inline or on worker threads, so its value is
+/// deterministic under any thread count. Everything scheduling-
+/// dependent (spin-ups, inline fallbacks, thread count, busy/idle
+/// time) is a gauge or histogram.
+struct PoolMetrics {
+    /// Work items submitted through the pool (inline or pooled).
+    tasks: Arc<Counter>,
+    /// Parallel regions that spawned worker threads.
+    spinups: Arc<Gauge>,
+    /// Regions that fell back to the inline sequential path.
+    inline: Arc<Gauge>,
+    /// Worker threads used by the most recent pooled region.
+    threads: Arc<Gauge>,
+    /// Per-worker time spent inside `f` (one sample per worker).
+    busy: Arc<Histogram>,
+    /// Per-worker time spent claiming/waiting (lifetime minus busy).
+    idle: Arc<Histogram>,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = coldtall_obs::global();
+        PoolMetrics {
+            tasks: registry.counter("pool.tasks"),
+            spinups: registry.gauge("pool.spinups"),
+            inline: registry.gauge("pool.inline"),
+            threads: registry.gauge("pool.threads"),
+            busy: registry.span("pool.worker.busy"),
+            idle: registry.span("pool.worker.idle"),
+        }
+    })
 }
 
 fn detected_parallelism() -> usize {
@@ -106,10 +151,17 @@ where
     T: Send + Sync,
     F: Fn(usize) -> T + Sync,
 {
+    let m = metrics();
+    // Counted up-front and identically on every path, so `pool.tasks`
+    // stays deterministic across thread counts.
+    m.tasks.add(n as u64);
     let threads = max_threads().min(n);
     if threads <= 1 || n < MIN_ITEMS_FOR_PARALLEL || in_worker() {
+        m.inline.add(1);
         return (0..n).map(f).collect();
     }
+    m.spinups.add(1);
+    m.threads.set(threads as u64);
 
     let mut slots: Vec<OnceLock<T>> = Vec::new();
     slots.resize_with(n, OnceLock::new);
@@ -119,18 +171,27 @@ where
         for _ in 0..threads {
             scope.spawn(move || {
                 IN_POOL.with(|flag| flag.set(true));
+                let born = Instant::now();
+                let mut busy = std::time::Duration::ZERO;
                 loop {
                     let i = next_ref.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
+                    let item_start = Instant::now();
                     let value = f_ref(i);
+                    busy += item_start.elapsed();
                     assert!(
                         slots_ref[i].set(value).is_ok(),
                         "work item {i} claimed twice"
                     );
                 }
                 IN_POOL.with(|flag| flag.set(false));
+                // One busy and one idle sample per worker per region:
+                // utilization is busy / (busy + idle).
+                let m = metrics();
+                m.busy.record(duration_ns(busy));
+                m.idle.record(duration_ns(born.elapsed().saturating_sub(busy)));
             });
         }
     });
@@ -138,6 +199,13 @@ where
         .into_iter()
         .map(|slot| slot.into_inner().expect("every slot filled by a worker"))
         .collect()
+}
+
+/// Saturating nanoseconds of a duration (a span longer than ~584 years
+/// clamps rather than wraps).
+#[allow(clippy::cast_possible_truncation)]
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Maps `f` over a slice in parallel, preserving order (a shorthand for
@@ -195,6 +263,18 @@ mod tests {
             assert_eq!(row, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
         }
         assert!(!in_worker(), "flag must reset after the region ends");
+    }
+
+    #[test]
+    fn tasks_counter_advances_by_n_on_any_path() {
+        // Other tests in this binary also feed the global counter, so
+        // assert on the (monotone) delta only.
+        let tasks = coldtall_obs::global().counter("pool.tasks");
+        let before = tasks.get();
+        let _ = parallel_map(10, |i| i);
+        // Nested/inline regions count their items too.
+        let _ = parallel_map(2, |_| parallel_map(3, |j| j));
+        assert!(tasks.get() >= before + 10 + 2 + 2 * 3);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //! `lbm`), showing how the fast partition absorbs the write storm —
 //! the related-work architecture the paper cites (Section II-B).
 
+// A terminal-facing example: usage errors belong on stderr.
+#![allow(clippy::print_stderr)]
+
 use coldtall::cell::{MemoryTechnology, Tentpole};
 use coldtall::core::report::{sci, TextTable};
 use coldtall::core::{Explorer, HybridLlc, MemoryConfig};

@@ -9,6 +9,9 @@
 //! SPECrate 2017 name, e.g. `povray` to watch the cryogenic options take
 //! over at low traffic.
 
+// A terminal-facing example: usage errors belong on stderr.
+#![allow(clippy::print_stderr)]
+
 use coldtall::core::report::{sci, TextTable};
 use coldtall::core::{Explorer, LlcEvaluation, MemoryConfig};
 use coldtall::workloads::{benchmark, spec2017};

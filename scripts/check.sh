@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The repo's one-stop verification gate: the full test suite (unit,
+# integration, golden-file, doc tests) plus a warning-free clippy pass
+# over every target. CI, the verify skill, and pre-commit hooks all
+# call this script so "green" means the same thing everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

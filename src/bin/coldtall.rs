@@ -7,7 +7,13 @@
 //! coldtall evaluate --bench namd --tech edram --temp 77
 //! coldtall recommend --bench mcf --max-area 5
 //! coldtall table2
+//! coldtall sweep --metrics
 //! ```
+
+// The CLI is the designated place for terminal output: artifact data
+// goes to stdout, diagnostics and `--metrics` reports to stderr (so
+// metrics never corrupt redirected artifacts).
+#![allow(clippy::print_stderr)]
 
 use std::process::ExitCode;
 
@@ -17,8 +23,28 @@ use coldtall::core::{selection, Constraints, Explorer, MemoryConfig};
 use coldtall::units::Kelvin;
 use coldtall::workloads::{benchmark, spec2017};
 
+/// What `--metrics[=json]` asked for.
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsMode {
+    Off,
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics = MetricsMode::Off;
+    args.retain(|arg| match arg.as_str() {
+        "--metrics" | "--metrics=text" => {
+            metrics = MetricsMode::Text;
+            false
+        }
+        "--metrics=json" => {
+            metrics = MetricsMode::Json;
+            false
+        }
+        _ => true,
+    });
     let Some(command) = args.first() else {
         print_usage();
         return ExitCode::FAILURE;
@@ -29,6 +55,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args[1..]),
         "recommend" => cmd_recommend(&args[1..]),
         "table2" => cmd_table2(),
+        "sweep" => cmd_sweep(),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -36,7 +63,17 @@ fn main() -> ExitCode {
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            // Metrics go to stderr after the command's own output, so
+            // redirected stdout stays a clean artifact and
+            // `--metrics=json` stderr is a parseable JSON document.
+            match metrics {
+                MetricsMode::Off => {}
+                MetricsMode::Text => eprint!("{}", coldtall::obs::global().render_text()),
+                MetricsMode::Json => eprint!("{}", coldtall::obs::global().render_json()),
+            }
+            ExitCode::SUCCESS
+        }
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("run `coldtall help` for usage");
@@ -57,6 +94,7 @@ fn print_usage() {
          \x20 evaluate        a design point under one benchmark's traffic\n\
          \x20 recommend       lowest-power viable choice for a benchmark\n\
          \x20 table2          the optimal-LLC summary table\n\
+         \x20 sweep           the full study sweep, summarized per configuration\n\
          \n\
          DESIGN-POINT OPTIONS:\n\
          \x20 --tech <sram|edram|pcm|stt|rram>   technology (default sram)\n\
@@ -66,7 +104,10 @@ fn print_usage() {
          \n\
          OTHER OPTIONS:\n\
          \x20 --bench <name>                     benchmark (default namd)\n\
-         \x20 --max-area <mm2>                   area constraint for recommend"
+         \x20 --max-area <mm2>                   area constraint for recommend\n\
+         \x20 --metrics[=json]                   after the command, report engine\n\
+         \x20                                    telemetry (cache hit rates, pool\n\
+         \x20                                    utilization, span timings) to stderr"
     );
 }
 
@@ -199,6 +240,58 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
         }
         None => Err("no configuration satisfies the constraints".into()),
     }
+}
+
+fn cmd_sweep() -> Result<(), String> {
+    let explorer = Explorer::with_defaults();
+    let configs = MemoryConfig::study_set();
+    let rows = explorer.sweep_configs(&configs);
+    let benchmarks = spec2017().len();
+    let mut table = TextTable::new(&[
+        "configuration",
+        "viable",
+        "min_rel_power",
+        "mean_rel_power",
+        "mean_rel_latency",
+    ]);
+    for (i, config) in configs.iter().enumerate() {
+        let per_bench = &rows[i * benchmarks..(i + 1) * benchmarks];
+        let viable = per_bench.iter().filter(|row| !row.slowdown).count();
+        let min_power = per_bench
+            .iter()
+            .map(|row| row.relative_power)
+            .fold(f64::INFINITY, f64::min);
+        #[allow(clippy::cast_precision_loss)]
+        let mean_power = per_bench.iter().map(|row| row.relative_power).sum::<f64>()
+            / benchmarks as f64;
+        let finite_latencies: Vec<f64> = per_bench
+            .iter()
+            .map(|row| row.relative_latency)
+            .filter(|l| l.is_finite())
+            .collect();
+        #[allow(clippy::cast_precision_loss)]
+        let mean_latency = if finite_latencies.is_empty() {
+            f64::INFINITY
+        } else {
+            finite_latencies.iter().sum::<f64>() / finite_latencies.len() as f64
+        };
+        table.row_owned(vec![
+            config.label(),
+            format!("{viable}/{benchmarks}"),
+            sci(min_power),
+            sci(mean_power),
+            sci(mean_latency),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\n{} rows ({} configurations x {} benchmarks), {} characterizations memoized",
+        rows.len(),
+        configs.len(),
+        benchmarks,
+        explorer.cached_characterizations()
+    );
+    Ok(())
 }
 
 fn cmd_table2() -> Result<(), String> {

@@ -21,6 +21,9 @@
 //!   streams,
 //! * [`core`] — the cross-stack explorer, application model, and
 //!   Table II selection engine (NVMExplorer itself),
+//! * [`obs`] — the observability layer: the metrics registry behind
+//!   `coldtall --metrics` (cache hit rates, pool utilization, span
+//!   timings),
 //! * `coldtall-bench` — binaries regenerating every figure and table.
 //!
 //! # Quickstart
@@ -42,6 +45,7 @@ pub use coldtall_cachesim as cachesim;
 pub use coldtall_cell as cell;
 pub use coldtall_core as core;
 pub use coldtall_cryo as cryo;
+pub use coldtall_obs as obs;
 pub use coldtall_tech as tech;
 pub use coldtall_units as units;
 pub use coldtall_workloads as workloads;

@@ -88,3 +88,89 @@ fn bad_inputs_are_reported() {
     assert!(!ok);
     assert!(err.contains("unknown command"));
 }
+
+fn run_with_env(args: &[&str], envs: &[(&str, &str)]) -> (bool, String, String) {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_coldtall"));
+    command.args(args);
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let output = command.output().expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn sweep_summarizes_the_full_study() {
+    let (ok, out, _) = run(&["sweep"]);
+    assert!(ok);
+    assert!(out.contains("713 rows"), "sweep summary: {out}");
+    assert!(out.contains("31 configurations x 23 benchmarks"));
+    assert!(out.contains("77K 3T-eDRAM"));
+}
+
+#[test]
+fn metrics_are_absent_by_default() {
+    let (ok, _, err) = run(&["list"]);
+    assert!(ok);
+    assert!(err.is_empty(), "no telemetry without --metrics: {err}");
+}
+
+#[test]
+fn metrics_text_reports_cache_pool_and_spans() {
+    let (ok, out, err) = run(&["sweep", "--metrics"]);
+    assert!(ok);
+    assert!(out.contains("713 rows"), "command output still on stdout");
+    for needle in ["cache.hits", "cache.misses", "pool.tasks", "# spans", "characterize"] {
+        assert!(err.contains(needle), "metrics text misses {needle}: {err}");
+    }
+}
+
+#[test]
+fn metrics_json_is_parseable_with_required_keys() {
+    let (ok, _, err) = run(&["sweep", "--metrics=json"]);
+    assert!(ok);
+    let parsed = coldtall::obs::json::parse(&err)
+        .unwrap_or_else(|e| panic!("--metrics=json stderr is not valid JSON ({e}):\n{err}"));
+    let counters = parsed.get("counters").expect("counters section");
+    for key in ["cache.hits", "cache.misses", "cache.inserts", "pool.tasks", "sweep.rows"] {
+        assert!(counters.get(key).is_some(), "counters missing {key}");
+    }
+    assert!(
+        counters.get("cache.hits").unwrap().as_f64().unwrap() > 0.0,
+        "a full sweep must hit the characterization cache"
+    );
+    let spans = parsed.get("spans").expect("spans section");
+    for key in ["characterize", "evaluate", "sweep"] {
+        assert!(spans.get(key).is_some(), "spans missing {key}");
+    }
+    assert!(parsed.get("gauges").is_some(), "gauges section present");
+}
+
+/// The acceptance contract of the observability layer: exported
+/// counter values are bit-identical between a sequential run and a
+/// 4-thread run of the same full-study sweep. (Gauges and span
+/// timings are explicitly run-dependent and excluded.)
+#[test]
+fn metrics_counters_identical_across_thread_counts() {
+    let (ok1, _, err1) = run_with_env(&["sweep", "--metrics=json"], &[("COLDTALL_THREADS", "1")]);
+    let (ok4, _, err4) = run_with_env(&["sweep", "--metrics=json"], &[("COLDTALL_THREADS", "4")]);
+    assert!(ok1 && ok4);
+    let counters1 = coldtall::obs::json::parse(&err1)
+        .expect("1-thread metrics parse")
+        .get("counters")
+        .cloned()
+        .expect("counters section");
+    let counters4 = coldtall::obs::json::parse(&err4)
+        .expect("4-thread metrics parse")
+        .get("counters")
+        .cloned()
+        .expect("counters section");
+    assert_eq!(
+        counters1, counters4,
+        "counters must be deterministic under any thread count"
+    );
+}

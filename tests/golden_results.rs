@@ -1,0 +1,165 @@
+//! Golden-file regression suite over `results/`.
+//!
+//! Every artifact the paper reproduction checks in is regenerated
+//! in-process and byte-compared against the committed file, so no
+//! future perf PR can silently corrupt the reproduction. The
+//! comparison runs twice — pinned to one pool thread, then forced to
+//! four — because the artifacts must be independent of how the sweep
+//! is scheduled.
+//!
+//! To rebless after an *intentional* model change:
+//!
+//! ```sh
+//! COLDTALL_BLESS=1 cargo test --test golden_results
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use coldtall::core::pool;
+use coldtall::core::report::TextTable;
+use coldtall_bench as bench;
+
+type Generator = fn() -> TextTable;
+
+/// Every artifact under `results/`, paired with its in-process
+/// regenerator (the same `run()` the corresponding binary prints).
+const ARTIFACTS: [(&str, Generator); 18] = [
+    ("ablation_cooling", bench::ablation_cooling::run),
+    ("ablation_ecc", bench::ablation_ecc::run),
+    ("ablation_node", bench::ablation_node::run),
+    ("ablation_stacking", bench::ablation_stacking::run),
+    ("ablation_tags", bench::ablation_tags::run),
+    ("ablation_voltage", bench::ablation_voltage::run),
+    ("accel_study", bench::accel_study::run),
+    ("dynamic_temperature", bench::dynamic_temperature::run),
+    ("fig1", bench::fig1::run),
+    ("fig3", bench::fig3::run),
+    ("fig4", bench::fig4::run),
+    ("fig5", bench::fig5::run),
+    ("fig6", bench::fig6::run),
+    ("fig7", bench::fig7::run),
+    ("hybrid_study", bench::hybrid_study::run),
+    ("table1", bench::table1::run),
+    ("table2", bench::table2::run),
+    ("variation_study", bench::variation_study::run),
+];
+
+/// The two passes share the process-wide pool override, so they take
+/// this lock and restore auto-detection on drop (even on panic).
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+struct PinnedPool(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl PinnedPool {
+    fn threads(n: usize) -> Self {
+        let guard = POOL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        pool::set_max_threads(n);
+        Self(guard)
+    }
+}
+
+impl Drop for PinnedPool {
+    fn drop(&mut self) {
+        pool::set_max_threads(0);
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(format!("{name}.txt"))
+}
+
+/// Renders an artifact exactly as its binary prints it (and exactly as
+/// the checked-in file was captured): `# <name>`, a blank line, then
+/// the table.
+fn rendered(name: &str, run: Generator) -> String {
+    format!("# {name}\n\n{}", run().render())
+}
+
+fn bless_requested() -> bool {
+    std::env::var("COLDTALL_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// A human-oriented first-divergence report for a byte mismatch.
+fn describe_divergence(expected: &str, actual: &str) -> String {
+    let mut report = String::new();
+    for (i, (want, got)) in expected.lines().zip(actual.lines()).enumerate() {
+        if want != got {
+            let _ = write!(
+                report,
+                "first divergence at line {}:\n  expected: {want}\n  actual:   {got}",
+                i + 1
+            );
+            return report;
+        }
+    }
+    let _ = write!(
+        report,
+        "line counts differ: expected {}, actual {}",
+        expected.lines().count(),
+        actual.lines().count()
+    );
+    report
+}
+
+fn check_all_artifacts(mode: &str) {
+    for (name, run) in ARTIFACTS {
+        let actual = rendered(name, run);
+        let path = golden_path(name);
+        if bless_requested() {
+            fs::write(&path, &actual)
+                .unwrap_or_else(|err| panic!("blessing {} failed: {err}", path.display()));
+            continue;
+        }
+        let expected = fs::read_to_string(&path)
+            .unwrap_or_else(|err| panic!("golden file {} unreadable: {err}", path.display()));
+        assert!(
+            expected == actual,
+            "results/{name}.txt diverged from its regenerator ({mode} pool).\n{}\n\
+             If the change is intentional, rebless with:\n  COLDTALL_BLESS=1 cargo test --test golden_results",
+            describe_divergence(&expected, &actual)
+        );
+    }
+}
+
+/// Every artifact, regenerated with the pool pinned to one thread at
+/// every level, must match the checked-in bytes.
+#[test]
+fn artifacts_match_golden_files_sequentially() {
+    let _pinned = PinnedPool::threads(1);
+    check_all_artifacts("1-thread");
+}
+
+/// And again with a forced 4-worker pool: parallel scheduling must not
+/// change a single byte of any artifact.
+#[test]
+fn artifacts_match_golden_files_with_four_threads() {
+    let _pinned = PinnedPool::threads(4);
+    check_all_artifacts("4-thread");
+}
+
+/// The suite covers the complete `results/` directory — a new artifact
+/// must be added to [`ARTIFACTS`] (and a removed one deleted) or this
+/// test fails, keeping the golden set exhaustive by construction.
+#[test]
+fn every_results_artifact_is_covered() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    let mut on_disk: Vec<String> = fs::read_dir(&dir)
+        .expect("results/ directory present")
+        .map(|entry| entry.expect("readable dir entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut covered: Vec<String> = ARTIFACTS
+        .iter()
+        .map(|(name, _)| format!("{name}.txt"))
+        .collect();
+    covered.sort();
+    assert_eq!(
+        on_disk, covered,
+        "results/ and the golden suite drifted apart"
+    );
+}

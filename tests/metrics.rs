@@ -1,0 +1,159 @@
+//! Metric-invariant tests of the observability layer.
+//!
+//! Each test observes a *private* `Registry`, so assertions cannot be
+//! perturbed by other tests of this binary (or the pool's telemetry,
+//! which feeds the process-global registry) running concurrently.
+//! The invariants under test are the ones `DESIGN.md` § Observability
+//! promises:
+//!
+//! * every characterization call is counted as exactly one cache hit
+//!   or one cache miss,
+//! * counter values are identical between sequential and parallel runs
+//!   of the same sweep (the determinism contract extends from rows to
+//!   telemetry),
+//! * histogram quantile estimates are monotone,
+//! * `Registry::reset` returns every metric to zero without breaking
+//!   live handles.
+
+use std::sync::{Mutex, PoisonError};
+
+use coldtall::array::Objective;
+use coldtall::core::{pool, Explorer, MemoryConfig};
+use coldtall::obs::Registry;
+use coldtall::tech::ProcessNode;
+use coldtall::workloads::spec2017;
+
+/// Tests that force a pool width share the process-global override.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn observed_explorer(registry: &Registry) -> Explorer {
+    Explorer::with_registry(
+        ProcessNode::ptm_22nm_hp(),
+        Objective::EnergyDelayProduct,
+        registry,
+    )
+}
+
+fn small_config_set() -> Vec<MemoryConfig> {
+    vec![
+        MemoryConfig::sram_350k(),
+        MemoryConfig::sram_77k(),
+        MemoryConfig::edram_350k(),
+        MemoryConfig::edram_77k(),
+    ]
+}
+
+#[test]
+fn hits_plus_misses_equals_characterization_calls() {
+    let registry = Registry::new();
+    let explorer = observed_explorer(&registry);
+    let configs = small_config_set();
+    let _ = explorer.sweep_configs(&configs);
+    // A second sweep re-probes everything as hits; the identity must
+    // keep holding.
+    let _ = explorer.sweep_configs(&configs);
+
+    let hits = registry.counter_value("cache.hits").expect("hits registered");
+    let misses = registry.counter_value("cache.misses").expect("misses registered");
+    let calls = registry
+        .counter_value("explorer.characterize.calls")
+        .expect("calls registered");
+    assert_eq!(hits + misses, calls, "every probe is one hit or one miss");
+    // Each of the 4 distinct configurations missed exactly once, ever.
+    assert_eq!(misses, 4);
+    assert_eq!(registry.counter_value("cache.inserts"), Some(4));
+}
+
+#[test]
+fn counters_identical_between_sequential_and_parallel_sweeps() {
+    let configs = small_config_set();
+
+    let seq_registry = Registry::new();
+    let seq_rows = observed_explorer(&seq_registry).sweep_configs_seq(&configs);
+
+    // Force real workers for the parallel side, so the contract is
+    // exercised across threads even on a 1-CPU host.
+    let par_registry = Registry::new();
+    let par_rows = {
+        let _lock = POOL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        pool::set_max_threads(4);
+        let rows = observed_explorer(&par_registry).par_sweep_configs(&configs);
+        pool::set_max_threads(0);
+        rows
+    };
+
+    assert_eq!(seq_rows, par_rows, "rows must not depend on the path");
+    assert_eq!(
+        seq_registry.counters(),
+        par_registry.counters(),
+        "every exported counter — aggregate and per-stripe — must be \
+         identical between sequential and parallel runs"
+    );
+    let hits = seq_registry.counter_value("cache.hits").unwrap();
+    assert_eq!(
+        hits,
+        (configs.len() * spec2017().len()) as u64,
+        "after warmup every evaluation probe is a hit"
+    );
+}
+
+#[test]
+fn characterization_span_counts_only_real_work() {
+    let registry = Registry::new();
+    let explorer = observed_explorer(&registry);
+    let configs = small_config_set();
+    let _ = explorer.sweep_configs(&configs);
+    let span = registry.span("characterize");
+    assert_eq!(
+        span.count(),
+        registry.counter_value("cache.misses").unwrap(),
+        "one characterize span per cache miss (memoized calls are not timed)"
+    );
+    assert_eq!(
+        registry.span("evaluate").count(),
+        registry.counter_value("explorer.evaluate.calls").unwrap()
+    );
+    assert_eq!(registry.span("sweep").count(), 1);
+}
+
+#[test]
+fn histogram_quantiles_are_monotone() {
+    let registry = Registry::new();
+    let explorer = observed_explorer(&registry);
+    let _ = explorer.sweep_configs(&small_config_set());
+    for name in ["characterize", "evaluate", "sweep"] {
+        let span = registry.span(name);
+        let (p50, p95, p99) = (span.quantile(0.50), span.quantile(0.95), span.quantile(0.99));
+        assert!(
+            p50 <= p95 && p95 <= p99,
+            "span '{name}': p50={p50} p95={p95} p99={p99} not monotone"
+        );
+        assert!(span.quantile(1.0) >= span.max() / 2, "upper bound brackets max");
+    }
+}
+
+#[test]
+fn reset_zeroes_every_counter_gauge_and_span() {
+    let registry = Registry::new();
+    let explorer = observed_explorer(&registry);
+    let _ = explorer.sweep_configs(&small_config_set());
+    assert!(registry.counter_value("cache.hits").unwrap() > 0);
+
+    registry.reset();
+    for (name, value) in registry.counters() {
+        assert_eq!(value, 0, "counter '{name}' survived reset");
+    }
+    for (name, value) in registry.gauges() {
+        assert_eq!(value, 0, "gauge '{name}' survived reset");
+    }
+    for name in ["characterize", "evaluate", "sweep"] {
+        assert_eq!(registry.span(name).count(), 0, "span '{name}' survived reset");
+    }
+
+    // Live handles keep working after a reset.
+    let _ = explorer.evaluate(
+        &MemoryConfig::sram_350k(),
+        coldtall::workloads::benchmark("namd").unwrap(),
+    );
+    assert_eq!(registry.counter_value("cache.hits"), Some(1));
+}

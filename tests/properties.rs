@@ -282,3 +282,67 @@ fn tentpole_optimism_dominates_at_array_level() {
         }
     }
 }
+
+/// The observability histogram must conserve its sample count: every
+/// recorded value lands in exactly one log2 bucket, over a seeded
+/// random stream spanning the full magnitude range.
+#[test]
+fn histogram_conserves_recorded_count_across_buckets() {
+    let mut rng = SmallRng::seed_from_u64(41);
+    let histogram = coldtall::obs::Histogram::new();
+    let n = 4096;
+    for _ in 0..n {
+        // Exercise every bucket width: shift a 64-bit draw by a random
+        // amount so magnitudes cover the whole range, including zero.
+        let shift = rng.gen_range(0..64);
+        histogram.record(rng.next_u64() >> shift);
+    }
+    assert_eq!(histogram.count(), n);
+    assert_eq!(
+        histogram.bucket_counts().iter().sum::<u64>(),
+        n,
+        "bucket totals must equal the recorded count"
+    );
+    let (p50, p95, p99) = (
+        histogram.quantile(0.50),
+        histogram.quantile(0.95),
+        histogram.quantile(0.99),
+    );
+    assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+}
+
+/// Merging two histograms must equal the histogram of the concatenated
+/// sample streams — bucket-for-bucket, plus count/sum/min/max.
+#[test]
+fn histogram_merge_equals_concatenated_samples() {
+    for seed in [7u64, 8, 9] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (left, right, concatenated) = (
+            coldtall::obs::Histogram::new(),
+            coldtall::obs::Histogram::new(),
+            coldtall::obs::Histogram::new(),
+        );
+        for i in 0..1000 {
+            let value = rng.next_u64() >> rng.gen_range(0..64);
+            if i % 3 == 0 {
+                left.record(value);
+            } else {
+                right.record(value);
+            }
+            concatenated.record(value);
+        }
+        left.merge_from(&right);
+        assert_eq!(
+            left.bucket_counts(),
+            concatenated.bucket_counts(),
+            "seed {seed}: merged buckets diverge from concatenation"
+        );
+        assert_eq!(left.count(), concatenated.count());
+        assert_eq!(left.sum(), concatenated.sum());
+        assert_eq!(left.min(), concatenated.min());
+        assert_eq!(left.max(), concatenated.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), concatenated.quantile(q), "seed {seed}, q={q}");
+        }
+    }
+}
