@@ -32,6 +32,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must surface impossible configurations through the
+// `try_` builders (or a documented panic in a thin wrapper), never an
+// anonymous `unwrap`; tests are exempt since a test failure IS the
+// report.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod calib;
 mod characterize;
@@ -46,5 +51,5 @@ pub use characterize::ArrayCharacterization;
 pub use ecc::EccScheme;
 pub use optimizer::{optimize, Objective};
 pub use organization::Organization;
-pub use spec::ArraySpec;
+pub use spec::{ArraySpec, SpecError};
 pub use stacking::Stacking;

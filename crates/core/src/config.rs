@@ -69,7 +69,34 @@ impl MemoryConfig {
         }
     }
 
+    /// An eNVM (or SRAM) configuration with `dies` stacked dies at
+    /// 350 K, rejecting die counts outside the study's 1/2/4/8 set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidDieCount`] if `dies` is not 1, 2,
+    /// 4, or 8.
+    pub fn try_envm_3d(
+        technology: MemoryTechnology,
+        tentpole: Tentpole,
+        dies: u8,
+    ) -> Result<Self, crate::Error> {
+        if !matches!(dies, 1 | 2 | 4 | 8) {
+            return Err(crate::Error::InvalidDieCount { dies });
+        }
+        Ok(Self {
+            technology,
+            tentpole,
+            dies,
+            temperature: Kelvin::REFERENCE,
+            cooling: CoolingSystem::default(),
+        })
+    }
+
     /// An eNVM (or SRAM) configuration with `dies` stacked dies at 350 K.
+    ///
+    /// Precondition: `dies` is 1, 2, 4, or 8. Use
+    /// [`MemoryConfig::try_envm_3d`] for untrusted inputs.
     ///
     /// # Panics
     ///
@@ -86,6 +113,26 @@ impl MemoryConfig {
             dies,
             temperature: Kelvin::REFERENCE,
             cooling: CoolingSystem::default(),
+        }
+    }
+
+    /// Parses a technology name as the CLI and service frontends spell
+    /// them: `sram`, `edram`/`3t-edram`, `pcm`, `stt`/`stt-ram`,
+    /// `rram`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::UnknownTechnology`] for anything else.
+    pub fn parse_technology(name: &str) -> Result<MemoryTechnology, crate::Error> {
+        match name {
+            "sram" => Ok(MemoryTechnology::Sram),
+            "edram" | "3t-edram" => Ok(MemoryTechnology::Edram3T),
+            "pcm" => Ok(MemoryTechnology::Pcm),
+            "stt" | "stt-ram" => Ok(MemoryTechnology::SttRam),
+            "rram" => Ok(MemoryTechnology::Rram),
+            other => Err(crate::Error::UnknownTechnology {
+                name: other.to_string(),
+            }),
         }
     }
 
@@ -243,5 +290,34 @@ mod tests {
     #[should_panic(expected = "1, 2, 4, or 8")]
     fn bad_die_count_rejected() {
         let _ = MemoryConfig::envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, 3);
+    }
+
+    #[test]
+    fn try_envm_3d_returns_typed_errors() {
+        for dies in [0, 3, 5, 7, 9, 255] {
+            let err =
+                MemoryConfig::try_envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, dies)
+                    .unwrap_err();
+            assert!(matches!(err, crate::Error::InvalidDieCount { dies: d } if d == dies));
+        }
+        let ok = MemoryConfig::try_envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, 8)
+            .unwrap();
+        assert_eq!(ok, MemoryConfig::envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, 8));
+    }
+
+    #[test]
+    fn technology_names_parse_like_the_cli() {
+        assert_eq!(
+            MemoryConfig::parse_technology("3t-edram").unwrap(),
+            MemoryTechnology::Edram3T
+        );
+        assert_eq!(
+            MemoryConfig::parse_technology("stt").unwrap(),
+            MemoryTechnology::SttRam
+        );
+        assert!(matches!(
+            MemoryConfig::parse_technology("flash").unwrap_err(),
+            crate::Error::UnknownTechnology { name } if name == "flash"
+        ));
     }
 }

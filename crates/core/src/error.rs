@@ -1,0 +1,155 @@
+//! The exploration's typed error taxonomy.
+//!
+//! Every invalid input reachable from an untrusted caller — a CLI flag,
+//! an environment variable, a future service request — lowers to one
+//! variant of [`Error`] instead of a panic, and every evaluation
+//! upholds the finite-or-explicitly-infeasible invariant: a
+//! [`crate::LlcEvaluation`] field is either a finite number, a
+//! documented `f64::INFINITY` sentinel (unserviceable latency,
+//! unlimited lifetime), or the row is rejected here. `NaN` is never a
+//! legal value anywhere in the exploration's outputs.
+
+use core::fmt;
+
+use coldtall_array::SpecError;
+use coldtall_cachesim::InvalidTraffic;
+use coldtall_units::InvalidTemperature;
+
+use crate::evaluate::Feasibility;
+
+/// Everything that can go wrong between an untrusted input and a
+/// finished evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_core::{Error, Explorer, MemoryConfig};
+///
+/// let explorer = Explorer::with_defaults();
+/// let err = explorer
+///     .try_evaluate(&MemoryConfig::sram_350k(), "doom")
+///     .unwrap_err();
+/// assert!(matches!(err, Error::UnknownBenchmark { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A temperature outside the finite, strictly positive range.
+    InvalidTemperature(InvalidTemperature),
+    /// An array specification the builder rejected (die count,
+    /// stacking, capacity, or line width).
+    InvalidSpec(SpecError),
+    /// A die count outside the study's 1/2/4/8 set.
+    InvalidDieCount {
+        /// The rejected die count.
+        dies: u8,
+    },
+    /// A traffic record with negative or non-finite rates.
+    InvalidTraffic(InvalidTraffic),
+    /// A technology name the exploration does not know.
+    UnknownTechnology {
+        /// The unrecognized name as supplied.
+        name: String,
+    },
+    /// A benchmark name missing from the workload suite.
+    UnknownBenchmark {
+        /// The unrecognized name as supplied.
+        name: String,
+    },
+    /// A design point that cannot serve the benchmark's traffic (or
+    /// would slow the CPU down) when the caller demanded a viable one.
+    Infeasible {
+        /// Display label of the configuration.
+        config: String,
+        /// The benchmark it was evaluated under.
+        benchmark: String,
+        /// Why the point is not viable.
+        feasibility: Feasibility,
+    },
+    /// An internal model produced a non-finite number where a finite
+    /// one is guaranteed — an invariant violation, reported instead of
+    /// letting `NaN` leak into downstream screening.
+    NonFinite {
+        /// What was being computed when the invariant broke.
+        context: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidTemperature(e) => e.fmt(f),
+            Self::InvalidSpec(e) => e.fmt(f),
+            Self::InvalidDieCount { dies } => {
+                write!(f, "the study stacks 1, 2, 4, or 8 dies, got {dies}")
+            }
+            Self::InvalidTraffic(e) => e.fmt(f),
+            Self::UnknownTechnology { name } => write!(f, "unknown technology '{name}'"),
+            Self::UnknownBenchmark { name } => write!(f, "unknown benchmark '{name}'"),
+            Self::Infeasible {
+                config,
+                benchmark,
+                feasibility,
+            } => write!(f, "{config} is not viable under {benchmark}: {feasibility}"),
+            Self::NonFinite { context } => {
+                write!(f, "internal model produced a non-finite value in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidTemperature(e) => Some(e),
+            Self::InvalidSpec(e) => Some(e),
+            Self::InvalidTraffic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InvalidTemperature> for Error {
+    fn from(e: InvalidTemperature) -> Self {
+        Self::InvalidTemperature(e)
+    }
+}
+
+impl From<SpecError> for Error {
+    fn from(e: SpecError) -> Self {
+        Self::InvalidSpec(e)
+    }
+}
+
+impl From<InvalidTraffic> for Error {
+    fn from(e: InvalidTraffic) -> Self {
+        Self::InvalidTraffic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_input() {
+        let err = Error::from(coldtall_units::Kelvin::try_new(-3.0).unwrap_err());
+        assert!(err.to_string().contains("-3"));
+        assert!(Error::UnknownBenchmark {
+            name: "doom".into()
+        }
+        .to_string()
+        .contains("'doom'"));
+        assert!(Error::InvalidDieCount { dies: 5 }
+            .to_string()
+            .contains("1, 2, 4, or 8"));
+    }
+
+    #[test]
+    fn sources_chain_to_the_layer_that_rejected() {
+        use std::error::Error as _;
+        let err = Error::from(coldtall_units::Kelvin::try_new(f64::NAN).unwrap_err());
+        assert!(err.source().is_some());
+        assert!(Error::UnknownTechnology { name: "flash".into() }.source().is_none());
+    }
+}

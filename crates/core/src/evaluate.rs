@@ -1,15 +1,85 @@
 //! The application-level model: array characteristics + traffic ->
 //! total LLC power, latency, and area.
 
+use core::fmt;
+
 use coldtall_array::ArrayCharacterization;
 use coldtall_cachesim::LlcTraffic;
 use coldtall_units::{Joules, Seconds, Watts};
 
 use crate::config::MemoryConfig;
+use crate::error::Error;
 
 /// Refresh-busy fraction beyond which an array cannot serve its traffic
 /// at all (the paper's "cannot run ordinary workloads" regime).
 const REFRESH_INFEASIBLE: f64 = 0.999;
+
+/// Why a design point is (or is not) a viable LLC for a benchmark.
+///
+/// Every [`LlcEvaluation`] carries one of these verdicts, computed from
+/// the array model's own feasibility checks rather than re-derived from
+/// the `f64::INFINITY` latency sentinel downstream — so a `NaN` can
+/// never masquerade as "viable" and screening code never has to guess
+/// which failure an infinite latency encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feasibility {
+    /// Serves the traffic with no slowdown versus the 350 K SRAM
+    /// baseline.
+    Viable,
+    /// Serves the traffic, but slower than the baseline (relative
+    /// latency above 1).
+    Slowdown,
+    /// Refresh consumes essentially all array availability (the paper's
+    /// "cannot run ordinary workloads" regime); latency is reported as
+    /// `f64::INFINITY`.
+    RefreshDead,
+    /// The offered traffic meets or exceeds the array's bank bandwidth;
+    /// latency is reported as `f64::INFINITY`.
+    BandwidthSaturated,
+}
+
+impl Feasibility {
+    /// Classifies an evaluation from the model's primitive checks.
+    ///
+    /// The order encodes causality: an array that cannot refresh fast
+    /// enough is dead regardless of traffic, saturation is next, and
+    /// only a serviceable array can be merely slow.
+    fn classify(refresh_dead: bool, utilization: f64, relative_latency: f64) -> Self {
+        if refresh_dead {
+            Self::RefreshDead
+        } else if utilization >= 1.0 {
+            Self::BandwidthSaturated
+        } else if relative_latency > 1.0 {
+            Self::Slowdown
+        } else {
+            Self::Viable
+        }
+    }
+
+    /// Whether the point serves the traffic at all (viable or merely
+    /// slow).
+    #[must_use]
+    pub fn is_serviceable(self) -> bool {
+        matches!(self, Self::Viable | Self::Slowdown)
+    }
+
+    /// Whether the point is fully viable (no slowdown, serviceable).
+    #[must_use]
+    pub fn is_viable(self) -> bool {
+        self == Self::Viable
+    }
+}
+
+impl fmt::Display for Feasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Viable => "viable",
+            Self::Slowdown => "slows the CPU",
+            Self::RefreshDead => "refresh-dead",
+            Self::BandwidthSaturated => "bandwidth-saturated",
+        })
+    }
+}
 
 /// One row of the exploration: a design point evaluated under one
 /// benchmark's traffic.
@@ -38,8 +108,12 @@ pub struct LlcEvaluation {
     /// benchmark; `f64::INFINITY` when refresh cannot keep up.
     pub relative_latency: f64,
     /// Whether this solution would negatively impact performance
-    /// (relative latency above 1).
+    /// (relative latency above 1, including unserviceable points).
     pub slowdown: bool,
+    /// Why this point is (or is not) viable; the authoritative verdict
+    /// derived from the array model's own checks, never from parsing
+    /// the latency sentinel back.
+    pub feasibility: Feasibility,
     /// 2D footprint in square millimeters.
     pub footprint_mm2: f64,
     /// Wear-limited lifetime in years (infinite for unlimited endurance).
@@ -97,11 +171,18 @@ impl LlcEvaluation {
         let wall = config.cooling().wall_power(device, config.temperature());
         let own_service = service_time(array, &traffic);
         let base_service = service_time(baseline, &traffic);
-        let relative_latency = if base_service > 0.0 {
+        // An unserviceable candidate is infinitely slow no matter what
+        // the baseline does: dividing two infinite service times would
+        // fabricate a NaN that compares "not a slowdown" downstream.
+        let relative_latency = if !own_service.is_finite() {
+            f64::INFINITY
+        } else if base_service.is_finite() && base_service > 0.0 {
             own_service / base_service
         } else {
             1.0
         };
+        let utilization =
+            array.bandwidth_utilization(traffic.reads_per_sec, traffic.writes_per_sec);
         Self {
             config_label: config.label(),
             benchmark,
@@ -111,10 +192,14 @@ impl LlcEvaluation {
             relative_power: wall / reference_power,
             relative_latency,
             slowdown: relative_latency > 1.0,
+            feasibility: Feasibility::classify(
+                array.refresh_busy_fraction >= REFRESH_INFEASIBLE,
+                utilization,
+                relative_latency,
+            ),
             footprint_mm2: array.footprint.as_mm2(),
             lifetime_years,
-            bandwidth_utilization: array
-                .bandwidth_utilization(traffic.reads_per_sec, traffic.writes_per_sec),
+            bandwidth_utilization: utilization,
         }
     }
 
@@ -122,6 +207,61 @@ impl LlcEvaluation {
     #[must_use]
     pub fn meets_lifetime_target(&self) -> bool {
         self.lifetime_years >= crate::lifetime::LIFETIME_TARGET_YEARS
+    }
+
+    /// Demands full viability, converting an infeasible (or merely
+    /// slow) row into a typed [`Error::Infeasible`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] unless the feasibility verdict is
+    /// [`Feasibility::Viable`].
+    pub fn require_viable(self) -> Result<Self, Error> {
+        if self.feasibility.is_viable() {
+            Ok(self)
+        } else {
+            Err(Error::Infeasible {
+                config: self.config_label,
+                benchmark: self.benchmark.to_string(),
+                feasibility: self.feasibility,
+            })
+        }
+    }
+
+    /// Checks the finite-or-explicitly-infeasible invariant: no field
+    /// is `NaN`, and an infinite relative latency only appears on rows
+    /// whose feasibility verdict says the point is unserviceable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] naming the offending field.
+    pub fn validate(&self) -> Result<(), Error> {
+        let non_finite = |field: &str| Error::NonFinite {
+            context: format!("{} @ {}: {field}", self.config_label, self.benchmark),
+        };
+        for (field, value) in [
+            ("device_power", self.device_power.get()),
+            ("wall_power", self.wall_power.get()),
+            ("relative_power", self.relative_power),
+            ("footprint_mm2", self.footprint_mm2),
+            ("bandwidth_utilization", self.bandwidth_utilization),
+        ] {
+            if !value.is_finite() {
+                return Err(non_finite(field));
+            }
+        }
+        // Latency and lifetime carry documented infinity sentinels
+        // (unserviceable / unlimited endurance) but never NaN.
+        if self.relative_latency.is_nan() {
+            return Err(non_finite("relative_latency"));
+        }
+        if self.lifetime_years.is_nan() {
+            return Err(non_finite("lifetime_years"));
+        }
+        if self.relative_latency.is_infinite() && self.feasibility.is_serviceable() {
+            return Err(non_finite("relative_latency (sentinel without verdict)"));
+        }
+        Ok(())
     }
 }
 
@@ -166,5 +306,56 @@ mod tests {
         let capacity = array.read_bandwidth();
         let t = service_time(&array, &LlcTraffic::new(capacity * 1.5, 0.0));
         assert!(t.is_infinite());
+    }
+
+    /// Regression (ISSUE 3): when candidate *and* baseline are both
+    /// unserviceable, `INF / INF` used to produce a NaN latency whose
+    /// `NaN > 1.0` comparison reported the row as viable.
+    #[test]
+    fn infinite_over_infinite_is_explicit_infeasibility_not_nan() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let dead = MemoryConfig::edram_350k().characterize(&node, Objective::EnergyDelayProduct);
+        assert!(
+            dead.refresh_busy_fraction >= 0.999,
+            "precondition: 350 K 3T-eDRAM is refresh-dead"
+        );
+        let eval = LlcEvaluation::build(
+            &MemoryConfig::edram_350k(),
+            "namd",
+            LlcTraffic::new(1e6, 1e5),
+            &dead,
+            &dead, // hostile baseline: also unserviceable
+            Watts::new(1.0),
+            f64::INFINITY,
+        );
+        assert!(eval.relative_latency.is_infinite(), "INF, not NaN");
+        assert!(eval.slowdown, "an unserviceable point is never 'viable'");
+        assert_eq!(eval.feasibility, Feasibility::RefreshDead);
+        eval.validate().expect("row upholds the NaN-free invariant");
+    }
+
+    #[test]
+    fn feasibility_verdicts_track_the_model_checks() {
+        let array = sram_array();
+        let build = |traffic: LlcTraffic| {
+            LlcEvaluation::build(
+                &MemoryConfig::sram_350k(),
+                "namd",
+                traffic,
+                &array,
+                &array,
+                Watts::new(1.0),
+                f64::INFINITY,
+            )
+        };
+        let idle = build(LlcTraffic::new(1e6, 1e5));
+        assert_eq!(idle.feasibility, Feasibility::Viable);
+        assert!(idle.feasibility.is_viable() && idle.feasibility.is_serviceable());
+        let saturated = build(LlcTraffic::new(array.read_bandwidth() * 1.5, 0.0));
+        assert_eq!(saturated.feasibility, Feasibility::BandwidthSaturated);
+        assert!(!saturated.feasibility.is_serviceable());
+        assert!(saturated.relative_latency.is_infinite());
+        saturated.validate().expect("sentinel backed by a verdict");
+        assert!(saturated.require_viable().is_err());
     }
 }

@@ -10,6 +10,7 @@ use coldtall_units::Watts;
 use coldtall_workloads::{spec2017, Benchmark};
 
 use crate::config::MemoryConfig;
+use crate::error::Error;
 use crate::evaluate::{device_power, LlcEvaluation};
 use crate::lifetime::lifetime_years;
 use crate::parcache::{CacheMetrics, ShardedCache};
@@ -191,6 +192,43 @@ impl Explorer {
         })
     }
 
+    /// Characterizes a configuration's array, verifying the
+    /// finite-output invariant the rest of the stack relies on.
+    ///
+    /// The characterization itself cannot fail for a validly
+    /// constructed [`MemoryConfig`]; this wrapper exists so untrusted
+    /// frontends get a typed [`Error::NonFinite`] — never a silent
+    /// `NaN` — should a model invariant ever break.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] if any characteristic that must be
+    /// finite (latency, energy, power, area) is not.
+    pub fn try_characterize(&self, config: &MemoryConfig) -> Result<ArrayCharacterization, Error> {
+        let array = self.characterize(config);
+        let non_finite = |field: &str| Error::NonFinite {
+            context: format!("{}: {field}", config.label()),
+        };
+        for (field, value) in [
+            ("read_latency", array.read_latency.get()),
+            ("write_latency", array.write_latency.get()),
+            ("read_energy", array.read_energy.get()),
+            ("write_energy", array.write_energy.get()),
+            ("leakage_power", array.leakage_power.get()),
+            ("refresh_power", array.refresh_power.get()),
+            ("footprint", array.footprint.get()),
+            ("array_efficiency", array.array_efficiency),
+        ] {
+            if !value.is_finite() {
+                return Err(non_finite(field));
+            }
+        }
+        if array.refresh_busy_fraction.is_nan() {
+            return Err(non_finite("refresh_busy_fraction"));
+        }
+        Ok(array)
+    }
+
     /// Warms the characterization cache for every distinct configuration
     /// in `configs`, one pool item per distinct label.
     ///
@@ -232,6 +270,51 @@ impl Explorer {
             self.reference_power,
             years,
         )
+    }
+
+    /// Evaluates one configuration under a benchmark looked up by name,
+    /// validating the row's NaN-free invariant.
+    ///
+    /// Infeasible rows are *data*, not errors — an evaluation of a
+    /// refresh-dead point returns `Ok` with the verdict in
+    /// [`LlcEvaluation::feasibility`]; chain
+    /// [`LlcEvaluation::require_viable`] to turn non-viability into a
+    /// typed [`Error::Infeasible`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownBenchmark`] if `benchmark` is not in the
+    /// workload suite, or [`Error::NonFinite`] if the produced row
+    /// violates the finite-or-explicitly-infeasible invariant.
+    pub fn try_evaluate(
+        &self,
+        config: &MemoryConfig,
+        benchmark: &str,
+    ) -> Result<LlcEvaluation, Error> {
+        let bench = coldtall_workloads::benchmark(benchmark).ok_or_else(|| {
+            Error::UnknownBenchmark {
+                name: benchmark.to_string(),
+            }
+        })?;
+        let row = self.evaluate(config, bench);
+        row.validate()?;
+        Ok(row)
+    }
+
+    /// Evaluates the given configurations under every SPEC2017
+    /// benchmark, validating every produced row's NaN-free invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] if any row violates the
+    /// finite-or-explicitly-infeasible invariant (infeasible rows with
+    /// their documented `INFINITY` sentinel are fine and included).
+    pub fn try_sweep_configs(&self, configs: &[MemoryConfig]) -> Result<Vec<LlcEvaluation>, Error> {
+        let rows = self.sweep_configs(configs);
+        for row in &rows {
+            row.validate()?;
+        }
+        Ok(rows)
     }
 
     /// Evaluates the full study: every configuration of
@@ -403,6 +486,39 @@ mod tests {
         let eval = explorer.evaluate(&MemoryConfig::edram_350k(), benchmark("namd").unwrap());
         assert!(eval.relative_latency.is_infinite());
         assert!(eval.slowdown);
+        assert_eq!(eval.feasibility, crate::Feasibility::RefreshDead);
+    }
+
+    #[test]
+    fn try_evaluate_types_unknown_benchmarks_and_keeps_infeasible_rows() {
+        let explorer = Explorer::with_defaults();
+        let err = explorer
+            .try_evaluate(&MemoryConfig::sram_350k(), "doom")
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownBenchmark { name } if name == "doom"));
+        // An infeasible point is data with a verdict, not an error...
+        let dead = explorer
+            .try_evaluate(&MemoryConfig::edram_350k(), "namd")
+            .expect("infeasible rows are returned, not rejected");
+        assert_eq!(dead.feasibility, crate::Feasibility::RefreshDead);
+        // ...until the caller demands viability.
+        assert!(matches!(
+            dead.require_viable().unwrap_err(),
+            Error::Infeasible { feasibility: crate::Feasibility::RefreshDead, .. }
+        ));
+    }
+
+    #[test]
+    fn try_characterize_and_try_sweep_uphold_the_finite_invariant() {
+        let explorer = Explorer::with_defaults();
+        let array = explorer
+            .try_characterize(&MemoryConfig::edram_77k())
+            .expect("valid configs characterize");
+        assert_eq!(array, explorer.characterize(&MemoryConfig::edram_77k()));
+        let configs = [MemoryConfig::sram_350k(), MemoryConfig::edram_350k()];
+        let rows = explorer.try_sweep_configs(&configs).expect("sweep is NaN-free");
+        assert_eq!(rows.len(), 2 * spec2017().len());
+        assert_eq!(rows, explorer.sweep_configs(&configs));
     }
 
     #[test]

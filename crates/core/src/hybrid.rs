@@ -16,7 +16,7 @@ use coldtall_units::{Capacity, Joules, Watts};
 use coldtall_workloads::{spec2017, Benchmark};
 
 use crate::config::MemoryConfig;
-use crate::evaluate::LlcEvaluation;
+use crate::evaluate::{Feasibility, LlcEvaluation};
 use crate::explorer::Explorer;
 use crate::lifetime::lifetime_years;
 use crate::pool;
@@ -253,6 +253,19 @@ impl Explorer {
         let years = lifetime_years(dense_cell, *dense_capacity, 512, w_dense + migrations);
 
         let footprint_mm2 = fast.footprint.as_mm2() + dense.footprint.as_mm2();
+        let utilization = fast
+            .bandwidth_utilization(r_fast, w_fast)
+            .max(dense.bandwidth_utilization(r_dense, w_dense));
+        // The hybrid model has no refresh-dead partition (its fast side
+        // is volatile SRAM/eDRAM kept serviceable by construction), so
+        // the verdict reduces to saturation and slowdown.
+        let feasibility = if utilization >= 1.0 {
+            Feasibility::BandwidthSaturated
+        } else if relative_latency > 1.0 {
+            Feasibility::Slowdown
+        } else {
+            Feasibility::Viable
+        };
         LlcEvaluation {
             config_label: hybrid.label(),
             benchmark: benchmark.name,
@@ -262,10 +275,10 @@ impl Explorer {
             relative_power: wall / self.reference_power(),
             relative_latency,
             slowdown: relative_latency > 1.0,
+            feasibility,
             footprint_mm2,
             lifetime_years: years,
-            bandwidth_utilization: fast.bandwidth_utilization(r_fast, w_fast)
-                .max(dense.bandwidth_utilization(r_dense, w_dense)),
+            bandwidth_utilization: utilization,
         }
     }
 }

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod error;
 mod evaluate;
 mod explorer;
 mod hybrid;
@@ -49,7 +50,8 @@ mod thermal_schedule;
 mod variation;
 
 pub use config::MemoryConfig;
-pub use evaluate::LlcEvaluation;
+pub use error::Error;
+pub use evaluate::{Feasibility, LlcEvaluation};
 pub use explorer::Explorer;
 pub use hybrid::HybridLlc;
 pub use parcache::{CacheMetrics, ShardedCache};

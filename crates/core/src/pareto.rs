@@ -47,8 +47,9 @@ impl Default for Constraints {
 }
 
 impl Constraints {
-    /// Unconstrained screening (everything passes except refresh-dead
-    /// configurations).
+    /// Unconstrained screening: everything passes except unserviceable
+    /// (refresh-dead or bandwidth-saturated) configurations, which
+    /// [`Constraints::satisfied_by`] always rejects.
     #[must_use]
     pub fn none() -> Self {
         Self {
@@ -60,9 +61,15 @@ impl Constraints {
     }
 
     /// Whether `eval` satisfies every constraint.
+    ///
+    /// Unserviceable rows (non-finite relative latency) never satisfy
+    /// any constraint set — even [`Constraints::none`], whose infinite
+    /// latency bound would otherwise let `INFINITY <= INFINITY` pass a
+    /// refresh-dead configuration into `recommend`.
     #[must_use]
     pub fn satisfied_by(&self, eval: &LlcEvaluation) -> bool {
-        eval.relative_latency <= self.max_relative_latency
+        eval.relative_latency.is_finite()
+            && eval.relative_latency <= self.max_relative_latency
             && self.max_area_mm2.is_none_or(|a| eval.footprint_mm2 <= a)
             && eval.lifetime_years >= self.min_lifetime_years
             && self
@@ -87,11 +94,21 @@ fn dominates(a: &LlcEvaluation, b: &LlcEvaluation) -> bool {
 /// Extracts the power/latency/area Pareto frontier of a set of
 /// evaluations (typically one benchmark across all configurations),
 /// sorted by ascending relative power.
+///
+/// Every objective must be finite for a row to be a frontier
+/// candidate: a non-finite power or area coordinate can never be
+/// dominated (`NaN` fails every `<=`), so filtering latency alone
+/// would seat such rows on the frontier forever.
 #[must_use]
 pub fn pareto_front(evals: &[LlcEvaluation]) -> Vec<LlcEvaluation> {
+    let finite = |e: &LlcEvaluation| {
+        e.relative_latency.is_finite()
+            && e.relative_power.is_finite()
+            && e.footprint_mm2.is_finite()
+    };
     let mut front: Vec<LlcEvaluation> = evals
         .iter()
-        .filter(|e| e.relative_latency.is_finite())
+        .filter(|e| finite(e))
         .filter(|candidate| !evals.iter().any(|other| dominates(other, candidate)))
         .cloned()
         .collect();
@@ -182,6 +199,51 @@ mod tests {
             ..Constraints::default()
         };
         assert!(recommend(&evals, &constraints).is_none());
+    }
+
+    /// Regression (ISSUE 3): `Constraints::none()` sets an infinite
+    /// latency bound, and `INFINITY <= INFINITY` used to let
+    /// refresh-dead rows pass screening — `recommend` could then pick
+    /// an LLC that cannot run any workload.
+    #[test]
+    fn constraints_none_rejects_unserviceable_rows() {
+        let explorer = Explorer::with_defaults();
+        let dead = explorer.evaluate(
+            &MemoryConfig::edram_350k(),
+            benchmark("namd").unwrap(),
+        );
+        assert!(dead.relative_latency.is_infinite(), "precondition");
+        assert!(!Constraints::none().satisfied_by(&dead));
+        // A pool of only unserviceable rows must recommend nothing.
+        assert!(recommend(std::slice::from_ref(&dead), &Constraints::none()).is_none());
+        // And in the real study set, the unconstrained pick is never an
+        // unserviceable configuration.
+        let evals = evals_for("namd");
+        let free = recommend(&evals, &Constraints::none()).unwrap();
+        assert!(free.relative_latency.is_finite());
+        assert!(free.feasibility.is_serviceable());
+    }
+
+    /// Regression (ISSUE 3): only latency was finiteness-filtered, so a
+    /// row with NaN power or area could never be dominated and landed
+    /// on the frontier.
+    #[test]
+    fn pareto_front_rejects_nan_power_and_area_rows() {
+        let evals = evals_for("namd");
+        let mut poisoned = evals.clone();
+        let mut nan_power = evals[0].clone();
+        nan_power.config_label = "nan-power".into();
+        nan_power.relative_power = f64::NAN;
+        let mut nan_area = evals[0].clone();
+        nan_area.config_label = "nan-area".into();
+        nan_area.footprint_mm2 = f64::NAN;
+        poisoned.push(nan_power);
+        poisoned.push(nan_area);
+        let front = pareto_front(&poisoned);
+        assert!(front
+            .iter()
+            .all(|e| !e.config_label.starts_with("nan-")));
+        assert_eq!(front, pareto_front(&evals), "poison rows change nothing");
     }
 
     #[test]

@@ -94,15 +94,40 @@ fn metrics() -> &'static PoolMetrics {
 
 fn detected_parallelism() -> usize {
     static DETECTED: OnceLock<usize> = OnceLock::new();
-    *DETECTED.get_or_init(|| {
-        std::env::var("COLDTALL_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })
+    *DETECTED.get_or_init(|| match std::env::var("COLDTALL_THREADS") {
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            // A malformed override must not be silently swallowed: the
+            // user asked for a specific thread count and is getting
+            // auto-detection instead. Warn once (OnceLock init runs at
+            // most once per process) and fall back.
+            _ => {
+                warn_invalid_threads(&raw);
+                auto_detected_parallelism()
+            }
+        },
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            warn_invalid_threads(&raw.to_string_lossy());
+            auto_detected_parallelism()
+        }
+        Err(std::env::VarError::NotPresent) => auto_detected_parallelism(),
     })
+}
+
+fn auto_detected_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+// The workspace denies `print_stderr` in libraries, but this is the one
+// place a library-level diagnostic is the correct tool: the fallback
+// happens once per process, before any Registry exists, and redirected
+// stdout artifacts must stay clean (stderr is the diagnostics channel).
+#[allow(clippy::print_stderr)]
+fn warn_invalid_threads(raw: &str) {
+    eprintln!(
+        "warning: ignoring invalid COLDTALL_THREADS={raw:?} (expected a positive \
+         integer); auto-detecting the thread count instead"
+    );
 }
 
 /// The number of worker threads a [`parallel_map`] call will use.

@@ -20,6 +20,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Library code must surface invalid values through `try_` APIs (or a
+// documented panic in a thin `new` wrapper), never an anonymous
+// `unwrap`; tests are exempt since a test failure IS the report.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 #[macro_use]
 mod quantity;
@@ -31,7 +35,7 @@ mod temperature;
 pub use capacity::Capacity;
 pub use electrical::switching_energy;
 pub use format::engineering;
-pub use temperature::Kelvin;
+pub use temperature::{InvalidTemperature, Kelvin};
 
 quantity!(
     /// A duration or latency in seconds.

@@ -2,6 +2,29 @@
 
 use core::fmt;
 
+/// A rejected temperature: the value was not finite and strictly
+/// positive.
+///
+/// Carries the offending value so callers can report exactly what the
+/// user supplied (`NaN`, `-12`, `inf`, ...).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidTemperature {
+    /// The rejected kelvin value.
+    pub kelvin: f64,
+}
+
+impl fmt::Display for InvalidTemperature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "temperature must be finite and positive, got {}",
+            self.kelvin
+        )
+    }
+}
+
+impl std::error::Error for InvalidTemperature {}
+
 /// An absolute temperature in kelvin.
 ///
 /// Temperatures are the central design knob of the cryogenic study; the
@@ -34,18 +57,36 @@ impl Kelvin {
     /// Boltzmann constant over elementary charge, in volts per kelvin.
     const KB_OVER_Q: f64 = 8.617_333e-5;
 
+    /// Creates a temperature, rejecting values that are not finite and
+    /// strictly positive (zero, negatives, `NaN`, infinities).
+    ///
+    /// This is the validated entry point for untrusted inputs (CLI
+    /// flags, service requests); [`Kelvin::new`] is the panicking
+    /// convenience for values known valid by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTemperature`] when `kelvin` is not a finite,
+    /// strictly positive number.
+    pub fn try_new(kelvin: f64) -> Result<Self, InvalidTemperature> {
+        if kelvin.is_finite() && kelvin > 0.0 {
+            Ok(Self(kelvin))
+        } else {
+            Err(InvalidTemperature { kelvin })
+        }
+    }
+
     /// Creates a temperature.
+    ///
+    /// Precondition: `kelvin` is finite and strictly positive. Use
+    /// [`Kelvin::try_new`] when the value comes from untrusted input.
     ///
     /// # Panics
     ///
     /// Panics if `kelvin` is not a finite, strictly positive number.
     #[must_use]
     pub fn new(kelvin: f64) -> Self {
-        assert!(
-            kelvin.is_finite() && kelvin > 0.0,
-            "temperature must be finite and positive, got {kelvin}"
-        );
-        Self(kelvin)
+        Self::try_new(kelvin).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns the temperature in kelvin.
@@ -112,5 +153,16 @@ mod tests {
     #[should_panic(expected = "must be finite and positive")]
     fn nan_rejected() {
         let _ = Kelvin::new(f64::NAN);
+    }
+
+    #[test]
+    fn try_new_accepts_and_rejects_without_panicking() {
+        assert_eq!(Kelvin::try_new(77.0), Ok(Kelvin::LN2));
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Kelvin::try_new(bad).unwrap_err();
+            assert!(err.to_string().contains("finite and positive"));
+        }
+        // The error carries the offending value verbatim.
+        assert_eq!(Kelvin::try_new(-3.0).unwrap_err().kelvin, -3.0);
     }
 }

@@ -12,12 +12,11 @@
 
 use coldtall::cell::MemoryTechnology;
 use coldtall::core::report::{sci, TextTable};
-use coldtall::core::{Explorer, MemoryConfig};
+use coldtall::core::{Error, Explorer, MemoryConfig};
 use coldtall::cryo::{CoolingSystem, LnBath, TemperatureSweep};
 use coldtall::units::{Kelvin, Watts};
-use coldtall::workloads::benchmark;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let explorer = Explorer::with_defaults();
     let workloads = ["povray", "namd", "mcf"];
 
@@ -31,14 +30,13 @@ fn main() {
         "rel_power_at_350K",
     ]);
     for name in workloads {
-        let bench = benchmark(name).expect("benchmark present");
         for tech in [MemoryTechnology::Sram, MemoryTechnology::Edram3T] {
             for cooling in CoolingSystem::ALL {
                 let mut best: Option<(f64, f64)> = None;
                 let mut at_350 = f64::NAN;
                 for t in TemperatureSweep::new(Kelvin::LN2, Kelvin::TDP, 10.0) {
                     let config = MemoryConfig::volatile_2d(tech, t).with_cooling(cooling);
-                    let eval = explorer.evaluate(&config, bench);
+                    let eval = explorer.try_evaluate(&config, name)?;
                     if (t.get() - 347.0).abs() < 5.0 {
                         at_350 = eval.relative_power;
                     }
@@ -63,8 +61,7 @@ fn main() {
     // Thermal budget: can an LN2 bath remove the heat of the whole
     // 77 K processor? (Paper Section V discussion.)
     let bath = LnBath::default();
-    let mcf = benchmark("mcf").expect("mcf present");
-    let cryo_llc = explorer.evaluate(&MemoryConfig::sram_77k(), mcf);
+    let cryo_llc = explorer.try_evaluate(&MemoryConfig::sram_77k(), "mcf")?;
     // Budget the rest of the CPU at a conservative 60 W of 77 K heat.
     let total = cryo_llc.device_power + Watts::new(60.0);
     println!(
@@ -81,4 +78,5 @@ fn main() {
         bath.advantage_over_air(),
         bath.temperature_variation_k()
     );
+    Ok(())
 }

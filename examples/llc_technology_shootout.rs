@@ -13,29 +13,35 @@
 #![allow(clippy::print_stderr)]
 
 use coldtall::core::report::{sci, TextTable};
-use coldtall::core::{Explorer, LlcEvaluation, MemoryConfig};
-use coldtall::workloads::{benchmark, spec2017};
+use coldtall::core::{Error, Explorer, Feasibility, LlcEvaluation, MemoryConfig};
+use coldtall::workloads::spec2017;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
-    let Some(bench) = benchmark(&name) else {
-        eprintln!("unknown benchmark '{name}'; choose one of:");
-        for b in spec2017() {
-            eprintln!("  {}", b.name);
-        }
-        std::process::exit(1);
-    };
 
     let explorer = Explorer::with_defaults();
-    let mut evals: Vec<LlcEvaluation> = MemoryConfig::study_set()
+    // The fallible API types an unknown benchmark name instead of
+    // panicking, so the usage error can list the real suite.
+    let evals: Result<Vec<LlcEvaluation>, Error> = MemoryConfig::study_set()
         .iter()
-        .map(|c| explorer.evaluate(c, bench))
+        .map(|c| explorer.try_evaluate(c, &name))
         .collect();
+    let mut evals = match evals {
+        Ok(evals) => evals,
+        Err(err) => {
+            eprintln!("{err}; choose one of:");
+            for b in spec2017() {
+                eprintln!("  {}", b.name);
+            }
+            std::process::exit(1);
+        }
+    };
     evals.sort_by(|a, b| a.relative_power.total_cmp(&b.relative_power));
 
+    let head = &evals[0];
     println!(
         "LLC technology shootout on {} ({:.2e} reads/s, {:.2e} writes/s)\n",
-        bench.name, bench.traffic.reads_per_sec, bench.traffic.writes_per_sec
+        head.benchmark, head.traffic.reads_per_sec, head.traffic.writes_per_sec
     );
     let mut table = TextTable::new(&[
         "rank",
@@ -47,14 +53,10 @@ fn main() {
         "verdict",
     ]);
     for (i, e) in evals.iter().enumerate() {
-        let verdict = if e.relative_latency.is_infinite() {
-            "infeasible (refresh)"
-        } else if e.slowdown {
-            "slows CPU"
-        } else if !e.meets_lifetime_target() {
-            "wears out"
-        } else {
-            "ok"
+        let verdict = match e.feasibility {
+            Feasibility::RefreshDead => "infeasible (refresh)".to_string(),
+            Feasibility::Viable if !e.meets_lifetime_target() => "wears out".to_string(),
+            other => other.to_string(),
         };
         table.row_owned(vec![
             (i + 1).to_string(),
@@ -63,14 +65,14 @@ fn main() {
             sci(e.relative_latency),
             format!("{:.2}", e.footprint_mm2),
             sci(e.lifetime_years),
-            verdict.to_string(),
+            verdict,
         ]);
     }
     print!("{}", table.render());
 
     let viable = evals
         .iter()
-        .find(|e| !e.slowdown && e.meets_lifetime_target());
+        .find(|e| e.feasibility.is_viable() && e.meets_lifetime_target());
     match viable {
         Some(e) => println!(
             "\nLowest-power viable choice: {} ({:.1}x below the 350K SRAM reference)",

@@ -5,18 +5,19 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use coldtall::core::{Explorer, MemoryConfig};
-use coldtall::workloads::benchmark;
+use coldtall::core::{Error, Explorer, MemoryConfig};
 
-fn main() {
+fn main() -> Result<(), Error> {
     // The explorer owns the 22 nm technology models, the 350 K SRAM
     // baseline, and the namd-referenced normalization (as in the paper).
     let explorer = Explorer::with_defaults();
 
     // Characterize the paper's headline cryogenic option: a 16 MiB
     // 3T-eDRAM LLC operated at 77 K under the cryo voltage policy.
+    // The fallible API returns typed errors instead of panicking on
+    // invalid inputs or broken model invariants.
     let config = MemoryConfig::edram_77k();
-    let array = explorer.characterize(&config);
+    let array = explorer.try_characterize(&config)?;
     println!("== {} array characterization ==", config.label());
     println!("  organization     : {} subarrays", array.organization);
     println!("  read latency     : {}", array.read_latency);
@@ -31,13 +32,12 @@ fn main() {
 
     // Evaluate it under a real workload's LLC traffic and compare with
     // the room-temperature SRAM baseline.
-    let namd = benchmark("namd").expect("namd is in the suite");
-    let eval = explorer.evaluate(&config, namd);
-    let baseline = explorer.evaluate(&MemoryConfig::sram_350k(), namd);
-    println!("\n== running {} ==", namd.name);
+    let eval = explorer.try_evaluate(&config, "namd")?;
+    let baseline = explorer.try_evaluate(&MemoryConfig::sram_350k(), "namd")?;
+    println!("\n== running {} ==", eval.benchmark);
     println!(
         "  traffic               : {:.2e} reads/s, {:.2e} writes/s",
-        namd.traffic.reads_per_sec, namd.traffic.writes_per_sec
+        eval.traffic.reads_per_sec, eval.traffic.writes_per_sec
     );
     println!("  wall power (cooled)   : {}", eval.wall_power);
     println!("  baseline wall power   : {}", baseline.wall_power);
@@ -53,4 +53,6 @@ fn main() {
         "  slows the CPU down?   : {}",
         if eval.slowdown { "yes" } else { "no" }
     );
+    println!("  verdict               : {}", eval.feasibility);
+    Ok(())
 }

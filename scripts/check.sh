@@ -7,4 +7,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo test -q
+# The adversarial-input gate runs explicitly so a filtered or partial
+# test invocation can never silently skip it: no CLI argument or
+# environment variable may reach a panic.
+cargo test -q --test fault_injection
 cargo clippy --workspace --all-targets -- -D warnings

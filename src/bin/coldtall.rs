@@ -15,13 +15,14 @@
 // metrics never corrupt redirected artifacts).
 #![allow(clippy::print_stderr)]
 
+use std::collections::HashMap;
 use std::process::ExitCode;
 
-use coldtall::cell::{MemoryTechnology, Tentpole};
+use coldtall::cell::Tentpole;
 use coldtall::core::report::{sci, TextTable};
 use coldtall::core::{selection, Constraints, Explorer, MemoryConfig};
 use coldtall::units::Kelvin;
-use coldtall::workloads::{benchmark, spec2017};
+use coldtall::workloads::spec2017;
 
 /// What `--metrics[=json]` asked for.
 #[derive(Clone, Copy, PartialEq)]
@@ -50,12 +51,17 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let result = match command.as_str() {
-        "list" => cmd_list(),
-        "characterize" => cmd_characterize(&args[1..]),
-        "evaluate" => cmd_evaluate(&args[1..]),
-        "recommend" => cmd_recommend(&args[1..]),
-        "table2" => cmd_table2(),
-        "sweep" => cmd_sweep(),
+        "list" => Options::parse(&args[1..], &[]).and_then(|_| cmd_list()),
+        "characterize" => Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp"])
+            .and_then(|opts| cmd_characterize(&opts)),
+        "evaluate" => {
+            Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp", "bench"])
+                .and_then(|opts| cmd_evaluate(&opts))
+        }
+        "recommend" => Options::parse(&args[1..], &["bench", "max-area"])
+            .and_then(|opts| cmd_recommend(&opts)),
+        "table2" => Options::parse(&args[1..], &[]).and_then(|_| cmd_table2()),
+        "sweep" => Options::parse(&args[1..], &[]).and_then(|_| cmd_sweep()),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -107,60 +113,97 @@ fn print_usage() {
          \x20 --max-area <mm2>                   area constraint for recommend\n\
          \x20 --metrics[=json]                   after the command, report engine\n\
          \x20                                    telemetry (cache hit rates, pool\n\
-         \x20                                    utilization, span timings) to stderr"
+         \x20                                    utilization, span timings) to stderr\n\
+         \n\
+         Options take `--key value` or `--key=value`. Unknown options,\n\
+         missing values, and out-of-range inputs exit 1 with `error: ...`\n\
+         on stderr; they are never silently defaulted."
     );
 }
 
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Parsed command-line options: `--key value` or `--key=value` pairs,
+/// validated against the command's allowed set.
+///
+/// Unknown options, options with a missing value, duplicated options,
+/// and stray positional arguments are all hard errors — a typo like
+/// `--benhc` must never silently fall back to a default.
+struct Options(HashMap<String, String>);
+
+impl Options {
+    fn parse(args: &[String], allowed: &[&str]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let Some(stripped) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{arg}'"));
+            };
+            let (name, inline) = match stripped.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (stripped, None),
+            };
+            if !allowed.contains(&name) {
+                return Err(format!("unknown option '--{name}'"));
+            }
+            let value = match inline {
+                Some(v) => v,
+                // A following option is not a value: `--temp --bench x`
+                // is a missing value, not a temperature of "--bench".
+                None => match iter.next() {
+                    Some(v) if !v.starts_with("--") => v.clone(),
+                    _ => return Err(format!("missing value for '--{name}'")),
+                },
+            };
+            if map.insert(name.to_string(), value).is_some() {
+                return Err(format!("duplicate option '--{name}'"));
+            }
+        }
+        Ok(Self(map))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
 }
 
-fn parse_config(args: &[String]) -> Result<MemoryConfig, String> {
-    let tech = match flag(args, "--tech").as_deref().unwrap_or("sram") {
-        "sram" => MemoryTechnology::Sram,
-        "edram" | "3t-edram" => MemoryTechnology::Edram3T,
-        "pcm" => MemoryTechnology::Pcm,
-        "stt" | "stt-ram" => MemoryTechnology::SttRam,
-        "rram" => MemoryTechnology::Rram,
-        other => return Err(format!("unknown technology '{other}'")),
-    };
-    let tentpole = match flag(args, "--tentpole").as_deref().unwrap_or("optimistic") {
+fn parse_config(opts: &Options) -> Result<MemoryConfig, String> {
+    let tech = MemoryConfig::parse_technology(opts.get("tech").unwrap_or("sram"))
+        .map_err(|e| e.to_string())?;
+    let tentpole = match opts.get("tentpole").unwrap_or("optimistic") {
         "optimistic" | "opt" => Tentpole::Optimistic,
         "pessimistic" | "pess" => Tentpole::Pessimistic,
         other => return Err(format!("unknown tentpole '{other}'")),
     };
-    let dies: u8 = flag(args, "--dies")
-        .as_deref()
+    let dies: u8 = opts
+        .get("dies")
         .unwrap_or("1")
         .parse()
         .map_err(|_| "bad --dies value".to_string())?;
     if !matches!(dies, 1 | 2 | 4 | 8) {
         return Err("--dies must be 1, 2, 4, or 8".into());
     }
-    let temp: f64 = flag(args, "--temp")
-        .as_deref()
+    let temp: f64 = opts
+        .get("temp")
         .unwrap_or("350")
         .parse()
         .map_err(|_| "bad --temp value".to_string())?;
     if !(60.0..=400.0).contains(&temp) {
         return Err("--temp must be between 60 and 400 kelvin".into());
     }
+    let temp = Kelvin::try_new(temp).map_err(|e| e.to_string())?;
     let config = if tech.is_nonvolatile() {
-        MemoryConfig::envm_3d(tech, tentpole, dies).at_temperature(Kelvin::new(temp))
+        MemoryConfig::try_envm_3d(tech, tentpole, dies)
+            .map_err(|e| e.to_string())?
+            .at_temperature(temp)
     } else if dies == 1 {
-        MemoryConfig::volatile_2d(tech, Kelvin::new(temp))
+        MemoryConfig::volatile_2d(tech, temp)
     } else {
         return Err("stacked volatile configs: use --tech sram --dies N at 350K only".into());
     };
     Ok(config)
 }
 
-fn parse_benchmark(args: &[String]) -> Result<&'static coldtall::workloads::Benchmark, String> {
-    let name = flag(args, "--bench").unwrap_or_else(|| "namd".to_string());
-    benchmark(&name).ok_or_else(|| format!("unknown benchmark '{name}'"))
+fn benchmark_name(opts: &Options) -> &str {
+    opts.get("bench").unwrap_or("namd")
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -182,10 +225,12 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_characterize(args: &[String]) -> Result<(), String> {
-    let config = parse_config(args)?;
+fn cmd_characterize(opts: &Options) -> Result<(), String> {
+    let config = parse_config(opts)?;
     let explorer = Explorer::with_defaults();
-    let a = explorer.characterize(&config);
+    let a = explorer
+        .try_characterize(&config)
+        .map_err(|e| e.to_string())?;
     println!("{}:", config.label());
     println!("  organization      : {} subarrays x {} dies", a.organization, a.dies);
     println!("  read latency      : {}", a.read_latency);
@@ -199,11 +244,14 @@ fn cmd_characterize(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evaluate(args: &[String]) -> Result<(), String> {
-    let config = parse_config(args)?;
-    let bench = parse_benchmark(args)?;
+fn cmd_evaluate(opts: &Options) -> Result<(), String> {
+    let config = parse_config(opts)?;
     let explorer = Explorer::with_defaults();
-    let e = explorer.evaluate(&config, bench);
+    // Infeasible design points are still printable results — only
+    // invalid inputs (or a NaN-invariant violation) error out.
+    let e = explorer
+        .try_evaluate(&config, benchmark_name(opts))
+        .map_err(|e| e.to_string())?;
     println!("{} running {}:", e.config_label, e.benchmark);
     println!("  device power        : {}", e.device_power);
     println!("  wall power (cooled) : {}", e.wall_power);
@@ -211,27 +259,28 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     println!("  relative latency    : {}", sci(e.relative_latency));
     println!("  bandwidth use       : {}", sci(e.bandwidth_utilization));
     println!("  lifetime            : {} years", sci(e.lifetime_years));
-    println!("  verdict             : {}", if e.slowdown { "slows the CPU" } else { "viable" });
+    println!("  verdict             : {}", e.feasibility);
     Ok(())
 }
 
-fn cmd_recommend(args: &[String]) -> Result<(), String> {
-    let bench = parse_benchmark(args)?;
+fn cmd_recommend(opts: &Options) -> Result<(), String> {
     let mut constraints = Constraints::default();
-    if let Some(area) = flag(args, "--max-area") {
+    if let Some(area) = opts.get("max-area") {
         constraints.max_area_mm2 =
             Some(area.parse().map_err(|_| "bad --max-area value".to_string())?);
     }
     let explorer = Explorer::with_defaults();
+    let name = benchmark_name(opts);
     let evals: Vec<_> = MemoryConfig::study_set()
         .iter()
-        .map(|c| explorer.evaluate(c, bench))
-        .collect();
+        .map(|c| explorer.try_evaluate(c, name))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
     match coldtall::core::recommend(&evals, &constraints) {
         Some(pick) => {
             println!(
                 "{}: {} ({}x below the 350K SRAM reference, {:.2} mm^2)",
-                bench.name,
+                name,
                 pick.config_label,
                 sci(1.0 / pick.relative_power),
                 pick.footprint_mm2
@@ -245,7 +294,9 @@ fn cmd_recommend(args: &[String]) -> Result<(), String> {
 fn cmd_sweep() -> Result<(), String> {
     let explorer = Explorer::with_defaults();
     let configs = MemoryConfig::study_set();
-    let rows = explorer.sweep_configs(&configs);
+    let rows = explorer
+        .try_sweep_configs(&configs)
+        .map_err(|e| e.to_string())?;
     let benchmarks = spec2017().len();
     let mut table = TextTable::new(&[
         "configuration",

@@ -150,6 +150,85 @@ fn metrics_json_is_parseable_with_required_keys() {
     assert!(parsed.get("gauges").is_some(), "gauges section present");
 }
 
+/// Regression (ISSUE 3): the old `flag()` scanner silently ignored a
+/// trailing option with no value and skipped unknown options entirely,
+/// so typos like `--benhc mcf` ran the default benchmark without a
+/// word. Strict parsing reports each malformed form on stderr.
+#[test]
+fn malformed_options_are_rejected_not_ignored() {
+    // Trailing option with no value.
+    let (ok, _, err) = run(&["characterize", "--tech", "edram", "--temp"]);
+    assert!(!ok);
+    assert!(err.contains("missing value for '--temp'"), "stderr: {err}");
+
+    // Option whose "value" is the next option.
+    let (ok, _, err) = run(&["evaluate", "--bench", "--tech", "pcm"]);
+    assert!(!ok);
+    assert!(err.contains("missing value for '--bench'"), "stderr: {err}");
+
+    // Misspelled option names must not fall through to defaults.
+    let (ok, _, err) = run(&["evaluate", "--benhc", "mcf"]);
+    assert!(!ok);
+    assert!(err.contains("unknown option '--benhc'"), "stderr: {err}");
+
+    // Options valid for one command are rejected on another.
+    let (ok, _, err) = run(&["recommend", "--tech", "pcm"]);
+    assert!(!ok);
+    assert!(err.contains("unknown option '--tech'"), "stderr: {err}");
+
+    // Stray positional arguments are errors, not noise.
+    let (ok, _, err) = run(&["list", "extra"]);
+    assert!(!ok);
+    assert!(err.contains("unexpected argument 'extra'"), "stderr: {err}");
+
+    // Repeating an option is ambiguous, so it is refused.
+    let (ok, _, err) = run(&["characterize", "--temp", "77", "--temp", "300"]);
+    assert!(!ok);
+    assert!(err.contains("duplicate option '--temp'"), "stderr: {err}");
+}
+
+/// `--key=value` parses identically to `--key value`.
+#[test]
+fn equals_form_options_are_accepted() {
+    let (ok, out, _) = run(&["characterize", "--tech=edram", "--temp=77"]);
+    assert!(ok);
+    assert!(out.contains("77K 3T-eDRAM"));
+
+    let (ok2, out2, _) = run(&["evaluate", "--bench=mcf", "--tech=pcm", "--dies=8"]);
+    assert!(ok2);
+    assert!(out2.contains("8-die PCM"));
+}
+
+/// Regression (ISSUE 3): an invalid `COLDTALL_THREADS` used to be
+/// silently replaced by auto-detection. The run must still succeed,
+/// but a one-time warning now lands on stderr.
+#[test]
+fn invalid_threads_env_warns_once_and_falls_back() {
+    for bad in ["abc", "0", "-2", "1.5"] {
+        let (ok, out, err) = run_with_env(&["sweep"], &[("COLDTALL_THREADS", bad)]);
+        assert!(ok, "sweep must survive COLDTALL_THREADS={bad}");
+        assert!(out.contains("713 rows"), "results unaffected by bad env");
+        assert!(
+            err.contains("ignoring invalid COLDTALL_THREADS"),
+            "COLDTALL_THREADS={bad} must warn on stderr, got: {err}"
+        );
+        assert_eq!(
+            err.matches("ignoring invalid COLDTALL_THREADS").count(),
+            1,
+            "warning must fire exactly once per process"
+        );
+    }
+}
+
+/// A valid thread override stays silent (stderr is reserved for
+/// diagnostics, and there is nothing to diagnose).
+#[test]
+fn valid_threads_env_is_silent() {
+    let (ok, _, err) = run_with_env(&["sweep"], &[("COLDTALL_THREADS", "2")]);
+    assert!(ok);
+    assert!(err.is_empty(), "no warning for a valid override: {err}");
+}
+
 /// The acceptance contract of the observability layer: exported
 /// counter values are bit-identical between a sequential run and a
 /// 4-thread run of the same full-study sweep. (Gauges and span

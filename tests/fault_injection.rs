@@ -1,0 +1,224 @@
+//! Fault injection: drive the CLI and the library with adversarial
+//! inputs and assert typed, panic-free failure.
+//!
+//! The contract under test (ISSUE 3 tentpole): no combination of CLI
+//! arguments or environment variables can reach a panic — every
+//! invalid input is either a typed [`coldtall::core::Error`] (library)
+//! or an `error: ...` line on stderr with exit code 1 (CLI) — and no
+//! evaluation the explorer produces ever carries a NaN field.
+
+use std::process::Command;
+
+use coldtall::array::{ArraySpec, Stacking};
+use coldtall::cachesim::LlcTraffic;
+use coldtall::cell::{CellModel, MemoryTechnology, Tentpole};
+use coldtall::core::{Explorer, MemoryConfig};
+use coldtall::tech::ProcessNode;
+use coldtall::units::{Capacity, Kelvin};
+
+fn run_with_env(args: &[&str], envs: &[(&str, &str)]) -> (bool, String, String) {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_coldtall"));
+    command.args(args);
+    for (key, value) in envs {
+        command.env(key, value);
+    }
+    let output = command.output().expect("binary runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// Asserts the adversarial invocation fails *gracefully*: exit code 1,
+/// an `error: ...` diagnostic on stderr, and no panic backtrace.
+fn assert_graceful_failure(args: &[&str]) {
+    let (ok, _, err) = run_with_env(args, &[]);
+    assert!(!ok, "must reject: coldtall {args:?}");
+    assert!(
+        err.contains("error:"),
+        "coldtall {args:?} must explain itself on stderr, got: {err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "coldtall {args:?} reached a panic: {err}"
+    );
+}
+
+#[test]
+fn hostile_cli_arguments_never_panic() {
+    let cases: &[&[&str]] = &[
+        // Out-of-range and malformed numeric values, every command.
+        &["characterize", "--temp", "0"],
+        &["characterize", "--temp", "-77"],
+        &["characterize", "--temp", "nan"],
+        &["characterize", "--temp", "inf"],
+        &["characterize", "--temp", "1e9"],
+        &["characterize", "--temp", ""],
+        &["characterize", "--dies", "255"],
+        &["characterize", "--dies", "-1"],
+        &["characterize", "--dies", "two"],
+        &["evaluate", "--dies", "0", "--tech", "pcm"],
+        &["evaluate", "--bench", "doom3"],
+        &["evaluate", "--bench", ""],
+        &["evaluate", "--tech", "flash"],
+        &["evaluate", "--tentpole", "hopeful"],
+        &["recommend", "--bench", "NAMD"],
+        &["recommend", "--max-area", "banana"],
+        &["recommend", "--max-area", "-1"],
+        // Structural abuse of the option grammar.
+        &["characterize", "--temp"],
+        &["characterize", "--temp", "--tech", "sram"],
+        &["characterize", "--temp=77", "--temp", "300"],
+        &["evaluate", "--benhc", "mcf"],
+        &["sweep", "--bench", "mcf"],
+        &["table2", "extra-positional"],
+        &["list", "--tech", "sram"],
+        // Stacked volatile memories outside the study.
+        &["characterize", "--tech", "edram", "--dies", "8"],
+    ];
+    for args in cases {
+        assert_graceful_failure(args);
+    }
+}
+
+#[test]
+fn hostile_environment_never_breaks_a_run() {
+    // Every command must survive garbage COLDTALL_THREADS: warn once,
+    // auto-detect, and produce its normal output.
+    for threads in ["garbage", "0", "-4", "184467440737095516160", "³"] {
+        let (ok, out, err) =
+            run_with_env(&["recommend", "--bench", "povray"], &[("COLDTALL_THREADS", threads)]);
+        assert!(ok, "COLDTALL_THREADS={threads} must not break recommend: {err}");
+        assert!(out.contains("77K"), "output unchanged under bad env");
+        assert!(
+            !err.contains("panicked"),
+            "COLDTALL_THREADS={threads} reached a panic: {err}"
+        );
+    }
+}
+
+#[test]
+fn hostile_env_and_bad_args_compose() {
+    // A bad argument with a bad environment still dies with a clean
+    // diagnostic, not a panic.
+    let (ok, _, err) = run_with_env(
+        &["evaluate", "--bench", "doom"],
+        &[("COLDTALL_THREADS", "zero")],
+    );
+    assert!(!ok);
+    assert!(err.contains("error: unknown benchmark 'doom'"), "stderr: {err}");
+    assert!(!err.contains("panicked"));
+}
+
+#[test]
+fn kelvin_rejects_every_non_physical_temperature() {
+    for bad in [0.0, -1.0, -273.15, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(
+            Kelvin::try_new(bad).is_err(),
+            "Kelvin::try_new({bad}) must fail"
+        );
+    }
+    assert!(Kelvin::try_new(f64::MIN_POSITIVE).is_ok(), "tiny but legal");
+}
+
+#[test]
+fn spec_builders_reject_bad_geometry_without_panicking() {
+    let node = ProcessNode::ptm_22nm_hp();
+    let cell = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &node);
+    let spec = ArraySpec::llc_16mib(cell, &node);
+    // The array layer allows any 1-8 die stack (the 1/2/4/8 study set
+    // is a core-level restriction); zero and over-tall stacks fail.
+    for dies in [0u8, 9, 16, 255] {
+        assert!(spec.clone().try_with_dies(dies).is_err(), "dies={dies}");
+    }
+    // Face-to-face bonding joins exactly two dies.
+    assert!(spec.clone().try_with_stacking(Stacking::FaceToFace, 4).is_err());
+    assert!(spec.clone().try_with_stacking(Stacking::Planar, 2).is_err());
+    // A capacity smaller than one line cannot hold a line.
+    assert!(spec.clone().try_with_capacity(Capacity::from_bytes(8)).is_err());
+    assert!(spec.clone().try_with_line_bits(0).is_err());
+    // The happy path still works after all those failed moves.
+    assert!(spec.try_with_dies(8).is_ok());
+}
+
+#[test]
+fn traffic_rejects_non_finite_and_negative_rates() {
+    for (r, w) in [
+        (f64::NAN, 0.0),
+        (0.0, f64::NAN),
+        (f64::INFINITY, 1.0),
+        (-1.0, 0.0),
+        (0.0, -0.5),
+    ] {
+        assert!(LlcTraffic::try_new(r, w).is_err(), "({r}, {w}) must fail");
+    }
+    assert!(LlcTraffic::try_new(0.0, 0.0).is_ok(), "idle is legal");
+}
+
+#[test]
+fn config_and_benchmark_lookups_are_typed() {
+    for dies in [0u8, 3, 6, 12, 200] {
+        assert!(
+            MemoryConfig::try_envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, dies).is_err(),
+            "dies={dies}"
+        );
+    }
+    for name in ["", "flash", "dram4", "SRAM ", "🦀"] {
+        assert!(MemoryConfig::parse_technology(name).is_err(), "tech {name:?}");
+    }
+    let explorer = Explorer::with_defaults();
+    for name in ["", "doom", "Namd", "namd "] {
+        let err = explorer
+            .try_evaluate(&MemoryConfig::sram_350k(), name)
+            .expect_err("unknown benchmark must be typed");
+        assert!(err.to_string().contains("unknown benchmark"), "{err}");
+    }
+}
+
+/// The finite-or-explicitly-infeasible invariant, swept exhaustively:
+/// every row of the full study (including refresh-dead and saturated
+/// ones) validates — `INFINITY` sentinels are declared through the
+/// feasibility verdict and NaN appears nowhere.
+#[test]
+fn every_study_row_validates_nan_free() {
+    let explorer = Explorer::with_defaults();
+    let rows = explorer
+        .try_sweep_configs(&MemoryConfig::study_set())
+        .expect("full study validates");
+    assert_eq!(rows.len(), 31 * 23);
+    for row in &rows {
+        assert!(
+            row.validate().is_ok(),
+            "{} on {} violates the invariant",
+            row.config_label,
+            row.benchmark
+        );
+        assert!(!row.relative_latency.is_nan());
+        assert!(!row.relative_power.is_nan());
+        assert!(!row.footprint_mm2.is_nan());
+        assert!(!row.lifetime_years.is_nan());
+        if row.relative_latency.is_infinite() {
+            assert!(
+                !row.feasibility.is_serviceable(),
+                "{}: an infinite latency must come with an unserviceable verdict",
+                row.config_label
+            );
+        }
+    }
+}
+
+/// Adversarial-but-legal corners of the library API: extreme yet valid
+/// temperatures evaluate without panicking and produce validated rows.
+#[test]
+fn extreme_legal_temperatures_evaluate_cleanly() {
+    let explorer = Explorer::with_defaults();
+    for t in [60.0, 77.0, 150.0, 300.0, 400.0] {
+        let temp = Kelvin::try_new(t).expect("legal temperature");
+        let config = MemoryConfig::volatile_2d(MemoryTechnology::Sram, temp);
+        let row = explorer
+            .try_evaluate(&config, "namd")
+            .unwrap_or_else(|e| panic!("SRAM at {t} K must evaluate: {e}"));
+        assert!(row.validate().is_ok());
+    }
+}
