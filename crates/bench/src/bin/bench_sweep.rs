@@ -113,6 +113,20 @@ fn main() {
     let ok_study = compare("study", iters, &study, &mut json);
     let ok_expanded = compare("study_x_temps", iters, &expanded, &mut json);
 
+    // Per-backend characterization tallies as their own flat section:
+    // how the study's design points split between the CryoMEM and
+    // Destiny paths, accumulated across every timed sweep above.
+    let mut backends = JsonObject::new();
+    for backend in coldtall_core::BackendRegistry::with_defaults().backends() {
+        let name = backend.name();
+        #[allow(clippy::cast_precision_loss)]
+        let tally = coldtall_obs::global()
+            .counter_value(&format!("backend.{name}.characterizations"))
+            .unwrap_or(0) as f64;
+        backends.number(&format!("{name}_characterizations"), tally);
+    }
+    json.raw("backends", &backends.render());
+
     // Fold the engine's telemetry (cache hit/miss, pool utilization,
     // span timings accumulated across every timed sweep above) into
     // the report, so the perf trajectory carries its own explanation.

@@ -1,0 +1,411 @@
+//! Pluggable array-characterization backends.
+//!
+//! The paper's toolflow (Fig. 2) dispatches each design point to one of
+//! two interchangeable characterization engines: CryoMEM for
+//! temperature-swept volatile memories and Destiny for 2D/3D eNVM and
+//! stacked-SRAM arrays. This module is that fault line: a
+//! [`CharacterizationBackend`] trait with a capability descriptor, the
+//! two concrete backends ([`CryoMemBackend`], [`DestinyBackend`]), and
+//! a [`BackendRegistry`] that resolves every [`MemoryConfig`] to
+//! *exactly one* backend — zero or several claimants are typed errors
+//! ([`Error::NoBackend`] / [`Error::BackendConflict`]), never a silent
+//! pick.
+//!
+//! The two default backends partition the design space by volatility
+//! and stack height, so resolution is unambiguous by construction:
+//! CryoMEM owns single-die volatile memories across the legal 60-400 K
+//! span (the paper sweeps 77-400 K; the device models extrapolate to
+//! the tool's lower legal bound), Destiny owns every non-volatile
+//! technology plus stacked (multi-die) volatile arrays.
+
+#![deny(missing_docs)]
+
+use core::fmt;
+use std::sync::Arc;
+
+use coldtall_array::{ArrayCharacterization, ArraySpec, Objective};
+use coldtall_cell::{CellModel, MemoryTechnology};
+use coldtall_tech::ProcessNode;
+use coldtall_units::Kelvin;
+
+use crate::config::MemoryConfig;
+use crate::error::Error;
+
+/// Lowest operating temperature either default backend accepts — the
+/// CLI's legal lower bound, below the paper's 77 K sweep floor.
+const MIN_TEMPERATURE_K: f64 = 60.0;
+
+/// Highest operating temperature either default backend accepts.
+const MAX_TEMPERATURE_K: f64 = 400.0;
+
+/// What a backend can characterize: the technologies, the operating
+/// temperature span, and the die counts it models.
+///
+/// [`BackendCapabilities::supports`] is the default admission check;
+/// backends with constraints the descriptor cannot express (e.g.
+/// "volatile only when single-die") additionally override
+/// [`CharacterizationBackend::supports`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendCapabilities {
+    technologies: Vec<MemoryTechnology>,
+    min_temperature: Kelvin,
+    max_temperature: Kelvin,
+    die_counts: Vec<u8>,
+}
+
+impl BackendCapabilities {
+    /// Builds a descriptor from the supported technologies, the
+    /// inclusive temperature span, and the supported die counts.
+    #[must_use]
+    pub fn new(
+        technologies: Vec<MemoryTechnology>,
+        min_temperature: Kelvin,
+        max_temperature: Kelvin,
+        die_counts: Vec<u8>,
+    ) -> Self {
+        Self {
+            technologies,
+            min_temperature,
+            max_temperature,
+            die_counts,
+        }
+    }
+
+    /// Technologies the backend models.
+    #[must_use]
+    pub fn technologies(&self) -> &[MemoryTechnology] {
+        &self.technologies
+    }
+
+    /// Lowest supported operating temperature (inclusive).
+    #[must_use]
+    pub fn min_temperature(&self) -> Kelvin {
+        self.min_temperature
+    }
+
+    /// Highest supported operating temperature (inclusive).
+    #[must_use]
+    pub fn max_temperature(&self) -> Kelvin {
+        self.max_temperature
+    }
+
+    /// Die counts the backend models.
+    #[must_use]
+    pub fn die_counts(&self) -> &[u8] {
+        &self.die_counts
+    }
+
+    /// Whether the descriptor admits `config` on all three axes.
+    #[must_use]
+    pub fn supports(&self, config: &MemoryConfig) -> bool {
+        self.technologies.contains(&config.technology())
+            && self.die_counts.contains(&config.dies())
+            && config.temperature() >= self.min_temperature
+            && config.temperature() <= self.max_temperature
+    }
+}
+
+/// One array-characterization engine.
+///
+/// A backend owns the lowering of a [`MemoryConfig`] to an
+/// [`ArraySpec`] and its characterization. All dispatch goes through a
+/// [`BackendRegistry`] — nothing outside this module calls
+/// `to_spec().characterize()` directly — so swapping or adding an
+/// engine (a measured-silicon table, an external simulator binding)
+/// touches exactly one seam.
+pub trait CharacterizationBackend: Send + Sync + fmt::Debug {
+    /// Stable machine-readable name (`cryomem`, `destiny`), used for
+    /// CLI selection and per-backend metrics.
+    fn name(&self) -> &'static str;
+
+    /// The backend's capability descriptor.
+    fn capabilities(&self) -> BackendCapabilities;
+
+    /// Whether this backend claims `config`. Defaults to the
+    /// descriptor's three-axis check; override to carve out regions
+    /// the descriptor cannot express.
+    fn supports(&self, config: &MemoryConfig) -> bool {
+        self.capabilities().supports(config)
+    }
+
+    /// Lowers the design point to an array specification (cell model,
+    /// 16 MiB LLC geometry, stacking, temperature policy). Exposed so
+    /// callers that re-shape the array before characterizing — the
+    /// hybrid-LLC partitioner overrides capacity — still route through
+    /// the backend.
+    fn lower(&self, config: &MemoryConfig, node: &ProcessNode) -> ArraySpec {
+        config.to_spec(node)
+    }
+
+    /// Characterizes the design point's array.
+    fn characterize(
+        &self,
+        config: &MemoryConfig,
+        node: &ProcessNode,
+        objective: Objective,
+    ) -> ArrayCharacterization {
+        self.lower(config, node).characterize(objective)
+    }
+}
+
+/// The CryoMEM-equivalent backend: single-die volatile memories
+/// (SRAM and the eDRAMs) swept across operating temperature, routed
+/// through [`coldtall_cryo::characterize_at`] so the cryogenic
+/// voltage-scaling policy is applied by the cryo layer itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CryoMemBackend;
+
+impl CharacterizationBackend for CryoMemBackend {
+    fn name(&self) -> &'static str {
+        "cryomem"
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities::new(
+            vec![
+                MemoryTechnology::Sram,
+                MemoryTechnology::Edram3T,
+                MemoryTechnology::Edram1T1C,
+            ],
+            Kelvin::new(MIN_TEMPERATURE_K),
+            Kelvin::new(MAX_TEMPERATURE_K),
+            vec![1],
+        )
+    }
+
+    fn characterize(
+        &self,
+        config: &MemoryConfig,
+        node: &ProcessNode,
+        objective: Objective,
+    ) -> ArrayCharacterization {
+        // Build the temperature-free base array and hand the operating
+        // point to the cryo layer, which applies the voltage-scaling
+        // policy — bit-identical to lowering the temperature into the
+        // spec first, but keeps the policy in one place.
+        let cell = CellModel::tentpole(config.technology(), config.tentpole(), node);
+        let base = ArraySpec::llc_16mib(cell, node);
+        coldtall_cryo::characterize_at(&base, config.temperature(), objective)
+    }
+}
+
+/// The Destiny-equivalent backend: 2D and 3D (multi-die) eNVM arrays
+/// plus stacked-SRAM organizations, lowered through the array engine's
+/// stacking model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DestinyBackend;
+
+impl CharacterizationBackend for DestinyBackend {
+    fn name(&self) -> &'static str {
+        "destiny"
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities::new(
+            vec![
+                MemoryTechnology::Sram,
+                MemoryTechnology::Pcm,
+                MemoryTechnology::SttRam,
+                MemoryTechnology::Rram,
+                MemoryTechnology::SotRam,
+            ],
+            Kelvin::new(MIN_TEMPERATURE_K),
+            Kelvin::new(MAX_TEMPERATURE_K),
+            MemoryConfig::VALID_DIES.to_vec(),
+        )
+    }
+
+    fn supports(&self, config: &MemoryConfig) -> bool {
+        // Single-die volatile memories are CryoMEM's domain; Destiny
+        // claims every non-volatile point and *stacked* volatile ones,
+        // keeping the default registry's partition disjoint.
+        self.capabilities().supports(config)
+            && (config.technology().is_nonvolatile() || config.dies() > 1)
+    }
+}
+
+/// Maps every design point to exactly one registered backend.
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_core::{BackendRegistry, MemoryConfig};
+///
+/// let registry = BackendRegistry::with_defaults();
+/// assert_eq!(registry.resolve(&MemoryConfig::sram_77k()).unwrap().name(), "cryomem");
+/// let stacked = MemoryConfig::envm_3d(
+///     coldtall_cell::MemoryTechnology::Pcm,
+///     coldtall_cell::Tentpole::Optimistic,
+///     8,
+/// );
+/// assert_eq!(registry.resolve(&stacked).unwrap().name(), "destiny");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BackendRegistry {
+    backends: Vec<Arc<dyn CharacterizationBackend>>,
+}
+
+impl BackendRegistry {
+    /// An empty registry. Resolution against it always fails with
+    /// [`Error::NoBackend`]; register backends first.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            backends: Vec::new(),
+        }
+    }
+
+    /// The paper's two engines: [`CryoMemBackend`] and
+    /// [`DestinyBackend`].
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        let mut registry = Self::new();
+        registry.register(Arc::new(CryoMemBackend));
+        registry.register(Arc::new(DestinyBackend));
+        registry
+    }
+
+    /// Registers a backend. Later registrations do not shadow earlier
+    /// ones — an overlap is reported as [`Error::BackendConflict`] at
+    /// resolution time, not resolved by order.
+    pub fn register(&mut self, backend: Arc<dyn CharacterizationBackend>) {
+        self.backends.push(backend);
+    }
+
+    /// The registered backends, in registration order.
+    #[must_use]
+    pub fn backends(&self) -> &[Arc<dyn CharacterizationBackend>] {
+        &self.backends
+    }
+
+    /// Looks a backend up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn CharacterizationBackend>> {
+        self.backends.iter().find(|b| b.name() == name)
+    }
+
+    /// Resolves `config` to the one backend that claims it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoBackend`] if no registered backend claims the
+    /// configuration, or [`Error::BackendConflict`] naming every
+    /// claimant if more than one does.
+    pub fn resolve(&self, config: &MemoryConfig) -> Result<&Arc<dyn CharacterizationBackend>, Error> {
+        self.resolve_index(config).map(|i| &self.backends[i])
+    }
+
+    /// [`BackendRegistry::resolve`], returning the registration index
+    /// (used by the explorer to address per-backend telemetry).
+    pub(crate) fn resolve_index(&self, config: &MemoryConfig) -> Result<usize, Error> {
+        let mut claimants = self
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.supports(config))
+            .map(|(i, _)| i);
+        let Some(first) = claimants.next() else {
+            return Err(Error::NoBackend {
+                config: config.label(),
+            });
+        };
+        let rest: Vec<usize> = claimants.collect();
+        if rest.is_empty() {
+            Ok(first)
+        } else {
+            Err(Error::BackendConflict {
+                config: config.label(),
+                backends: std::iter::once(first)
+                    .chain(rest)
+                    .map(|i| self.backends[i].name().to_string())
+                    .collect(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_cell::Tentpole;
+
+    #[test]
+    fn default_backends_partition_the_study_set() {
+        let registry = BackendRegistry::with_defaults();
+        for config in MemoryConfig::study_set() {
+            let backend = registry
+                .resolve(&config)
+                .unwrap_or_else(|e| panic!("{}: {e}", config.label()));
+            let expected = if config.technology().is_nonvolatile() || config.dies() > 1 {
+                "destiny"
+            } else {
+                "cryomem"
+            };
+            assert_eq!(backend.name(), expected, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn cryomem_routes_bit_identically_to_the_spec_path() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let objective = Objective::EnergyDelayProduct;
+        for config in [
+            MemoryConfig::sram_350k(),
+            MemoryConfig::sram_77k(),
+            MemoryConfig::edram_77k(),
+        ] {
+            assert_eq!(
+                CryoMemBackend.characterize(&config, &node, objective),
+                config.to_spec(&node).characterize(objective),
+                "{}",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn capability_descriptor_checks_all_three_axes() {
+        let caps = CryoMemBackend.capabilities();
+        assert!(caps.supports(&MemoryConfig::sram_77k()));
+        // Temperature out of span.
+        let hot = MemoryConfig::volatile_2d(MemoryTechnology::Sram, Kelvin::new(500.0));
+        assert!(!caps.supports(&hot));
+        // Technology not modeled.
+        assert!(!caps.supports(&MemoryConfig::envm_3d(
+            MemoryTechnology::Pcm,
+            Tentpole::Optimistic,
+            1
+        )));
+        // Die count not modeled.
+        assert!(!caps.supports(&MemoryConfig::envm_3d(
+            MemoryTechnology::Sram,
+            Tentpole::Optimistic,
+            2
+        )));
+    }
+
+    #[test]
+    fn empty_registry_and_overlap_are_typed_errors() {
+        let config = MemoryConfig::sram_350k();
+        let err = BackendRegistry::new().resolve(&config).unwrap_err();
+        assert!(matches!(err, Error::NoBackend { .. }), "{err}");
+
+        let mut overlapping = BackendRegistry::with_defaults();
+        overlapping.register(Arc::new(CryoMemBackend));
+        let err = overlapping.resolve(&config).unwrap_err();
+        match err {
+            Error::BackendConflict { backends, .. } => {
+                assert_eq!(backends, ["cryomem", "cryomem"]);
+            }
+            other => panic!("expected a conflict, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let registry = BackendRegistry::with_defaults();
+        assert_eq!(registry.get("destiny").unwrap().name(), "destiny");
+        assert!(registry.get("nvsim").is_none());
+        assert_eq!(registry.backends().len(), 2);
+    }
+}

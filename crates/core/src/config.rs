@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use coldtall_array::{ArrayCharacterization, ArraySpec, Objective};
+use coldtall_array::ArraySpec;
 use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
 use coldtall_cryo::CoolingSystem;
 use coldtall_tech::ProcessNode;
@@ -33,6 +33,25 @@ pub struct MemoryConfig {
 }
 
 impl MemoryConfig {
+    /// The die counts the study stacks. The single source of truth for
+    /// die-count validation: [`MemoryConfig::validate_dies`], the CLI,
+    /// and the Destiny backend's capability descriptor all read it.
+    pub const VALID_DIES: [u8; 4] = [1, 2, 4, 8];
+
+    /// Validates a die count against [`MemoryConfig::VALID_DIES`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidDieCount`] if `dies` is not 1, 2,
+    /// 4, or 8.
+    pub fn validate_dies(dies: u8) -> Result<(), crate::Error> {
+        if Self::VALID_DIES.contains(&dies) {
+            Ok(())
+        } else {
+            Err(crate::Error::InvalidDieCount { dies })
+        }
+    }
+
     /// The study baseline: 2D SRAM at 350 K.
     #[must_use]
     pub fn sram_350k() -> Self {
@@ -81,9 +100,7 @@ impl MemoryConfig {
         tentpole: Tentpole,
         dies: u8,
     ) -> Result<Self, crate::Error> {
-        if !matches!(dies, 1 | 2 | 4 | 8) {
-            return Err(crate::Error::InvalidDieCount { dies });
-        }
+        Self::validate_dies(dies)?;
         Ok(Self {
             technology,
             tentpole,
@@ -103,10 +120,7 @@ impl MemoryConfig {
     /// Panics if `dies` is not 1, 2, 4, or 8.
     #[must_use]
     pub fn envm_3d(technology: MemoryTechnology, tentpole: Tentpole, dies: u8) -> Self {
-        assert!(
-            matches!(dies, 1 | 2 | 4 | 8),
-            "the study stacks 1, 2, 4, or 8 dies"
-        );
+        Self::validate_dies(dies).unwrap_or_else(|e| panic!("{e}"));
         Self {
             technology,
             tentpole,
@@ -205,6 +219,12 @@ impl MemoryConfig {
     }
 
     /// Lowers this design point to an array specification.
+    ///
+    /// This is the default lowering the characterization backends
+    /// share (see [`crate::CharacterizationBackend::lower`]);
+    /// characterization itself is dispatched through a
+    /// [`crate::BackendRegistry`], never chained directly off this
+    /// spec.
     #[must_use]
     pub fn to_spec(&self, node: &ProcessNode) -> ArraySpec {
         let cell = CellModel::tentpole(self.technology, self.tentpole, node);
@@ -213,16 +233,6 @@ impl MemoryConfig {
             spec = spec.with_dies(self.dies);
         }
         spec.at_temperature_cryo(self.temperature)
-    }
-
-    /// Characterizes this design point's array.
-    #[must_use]
-    pub fn characterize(
-        &self,
-        node: &ProcessNode,
-        objective: Objective,
-    ) -> ArrayCharacterization {
-        self.to_spec(node).characterize(objective)
     }
 
     /// The study's full configuration set: cryogenic and room-temperature

@@ -73,6 +73,19 @@ pub enum Error {
         /// What was being computed when the invariant broke.
         context: String,
     },
+    /// No registered characterization backend claims the configuration.
+    NoBackend {
+        /// Display label of the unclaimed configuration.
+        config: String,
+    },
+    /// More than one registered backend claims the configuration, so
+    /// resolution is ambiguous.
+    BackendConflict {
+        /// Display label of the contested configuration.
+        config: String,
+        /// Names of every claiming backend, in registration order.
+        backends: Vec<String>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -93,6 +106,16 @@ impl fmt::Display for Error {
             } => write!(f, "{config} is not viable under {benchmark}: {feasibility}"),
             Self::NonFinite { context } => {
                 write!(f, "internal model produced a non-finite value in {context}")
+            }
+            Self::NoBackend { config } => {
+                write!(f, "no characterization backend supports {config}")
+            }
+            Self::BackendConflict { config, backends } => {
+                write!(
+                    f,
+                    "ambiguous backend for {config}: {} all claim it",
+                    backends.join(", ")
+                )
             }
         }
     }
@@ -143,6 +166,16 @@ mod tests {
         assert!(Error::InvalidDieCount { dies: 5 }
             .to_string()
             .contains("1, 2, 4, or 8"));
+        assert!(Error::NoBackend {
+            config: "77K SRAM".into()
+        }
+        .to_string()
+        .contains("77K SRAM"));
+        let conflict = Error::BackendConflict {
+            config: "SRAM".into(),
+            backends: vec!["cryomem".into(), "destiny".into()],
+        };
+        assert!(conflict.to_string().contains("cryomem, destiny"));
     }
 
     #[test]

@@ -1,19 +1,21 @@
 //! The exploration driver: configurations x benchmarks.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
-use coldtall_array::{ArrayCharacterization, Objective};
+use coldtall_array::{ArrayCharacterization, ArraySpec, Objective};
+use coldtall_cell::CellModel;
 use coldtall_obs::{Counter, Histogram, Registry, Span};
 use coldtall_tech::ProcessNode;
-use coldtall_units::Watts;
-use coldtall_workloads::{spec2017, Benchmark};
+use coldtall_units::{Capacity, Watts};
+use coldtall_workloads::Benchmark;
 
+use crate::backend::BackendRegistry;
 use crate::config::MemoryConfig;
 use crate::error::Error;
 use crate::evaluate::{device_power, LlcEvaluation};
 use crate::lifetime::lifetime_years;
 use crate::parcache::{CacheMetrics, ShardedCache};
+use crate::plan::{DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 use crate::pool;
 
 /// The reference benchmark all power results are normalized to, as in
@@ -24,12 +26,22 @@ pub const REFERENCE_BENCHMARK: &str = "namd";
 /// (with caching), normalizes against the 350 K SRAM / `namd` reference,
 /// and evaluates configurations under benchmark traffic.
 ///
+/// Characterization is dispatched through a [`BackendRegistry`]
+/// (CryoMEM for single-die volatile points, Destiny for eNVM and
+/// stacked arrays, by default), and sweeps run as a plan/execute
+/// pipeline: [`Explorer::plan_sweep`] compiles the (configuration x
+/// benchmark) grid into a validated [`ExecutionPlan`] with
+/// key-deduplicated characterization jobs, and
+/// [`Explorer::execute`] / [`Explorer::execute_par`] run it. The
+/// classic entry points ([`Explorer::sweep_configs`] and friends) are
+/// thin wrappers over that pipeline.
+///
 /// The explorer is `Send + Sync`: the characterization memo is a
-/// sharded, lock-striped cache (see [`crate::parcache`]), so one
-/// explorer can be shared by every worker of a parallel sweep. All
-/// evaluation is pure arithmetic over immutable state, which makes
-/// [`Explorer::par_sweep_configs`] bit-identical to the sequential
-/// [`Explorer::sweep_configs_seq`].
+/// sharded, lock-striped cache ([`crate::ShardedCache`]) keyed by
+/// [`DesignPointKey`], so one explorer can be shared by every worker
+/// of a parallel sweep. All evaluation is pure arithmetic over
+/// immutable state, which makes [`Explorer::par_sweep_configs`]
+/// bit-identical to the sequential [`Explorer::sweep_configs_seq`].
 ///
 /// # Examples
 ///
@@ -49,6 +61,28 @@ pub struct Explorer {
     baseline: ArrayCharacterization,
     reference_power: Watts,
     metrics: ExplorerMetrics,
+    backends: BackendRegistry,
+    /// Telemetry handles aligned with `backends.backends()` by index.
+    backend_stats: Vec<BackendStats>,
+}
+
+/// Per-backend telemetry: how many characterizations the registry
+/// dispatched to the backend, and where their wall-clock went.
+#[derive(Debug)]
+struct BackendStats {
+    /// Dispatched characterizations (`backend.<name>.characterizations`).
+    characterizations: Arc<Counter>,
+    /// Latency histogram of those dispatches (span `backend.<name>`).
+    span: Arc<Histogram>,
+}
+
+impl BackendStats {
+    fn registered(registry: &Registry, name: &str) -> Self {
+        Self {
+            characterizations: registry.counter(&format!("backend.{name}.characterizations")),
+            span: registry.span(&format!("backend.{name}")),
+        }
+    }
 }
 
 /// Registry handles for the explorer's own telemetry.
@@ -121,20 +155,56 @@ impl Explorer {
     /// suite (it never is).
     #[must_use]
     pub fn with_registry(node: ProcessNode, objective: Objective, registry: &Registry) -> Self {
-        let baseline = MemoryConfig::sram_350k().characterize(&node, objective);
-        let reference = spec2017()
+        Self::try_with_backends(node, objective, BackendRegistry::with_defaults(), registry)
+            .expect("the default backends cover the baseline configuration")
+    }
+
+    /// Creates an explorer dispatching through an explicit backend
+    /// registry, reporting into an explicit metrics registry.
+    ///
+    /// This is the fallible root constructor: the 350 K SRAM baseline
+    /// is characterized eagerly (everything is normalized against it),
+    /// so a registry that cannot resolve the baseline is rejected here
+    /// rather than panicking on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoBackend`] / [`Error::BackendConflict`] if the
+    /// baseline configuration does not resolve to exactly one backend
+    /// (an empty registry always fails this way).
+    pub fn try_with_backends(
+        node: ProcessNode,
+        objective: Objective,
+        backends: BackendRegistry,
+        registry: &Registry,
+    ) -> Result<Self, Error> {
+        let backend_stats: Vec<BackendStats> = backends
+            .backends()
+            .iter()
+            .map(|b| BackendStats::registered(registry, b.name()))
+            .collect();
+        let baseline_config = MemoryConfig::sram_350k();
+        let index = backends.resolve_index(&baseline_config)?;
+        backend_stats[index].characterizations.inc();
+        let baseline = {
+            let _span = Span::enter(backend_stats[index].span.clone());
+            backends.backends()[index].characterize(&baseline_config, &node, objective)
+        };
+        let reference = coldtall_workloads::spec2017()
             .iter()
             .find(|b| b.name == REFERENCE_BENCHMARK)
             .expect("reference benchmark present");
         let reference_power = device_power(&baseline, &reference.traffic);
-        Self {
+        Ok(Self {
             node,
             objective,
             cache: ShardedCache::with_metrics(CacheMetrics::registered(registry, "cache")),
             baseline,
             reference_power,
             metrics: ExplorerMetrics::registered(registry),
-        }
+            backends,
+            backend_stats,
+        })
     }
 
     /// The process node.
@@ -175,21 +245,86 @@ impl Explorer {
         self.cache.metrics()
     }
 
-    /// Characterizes a configuration's array (cached, thread-safe).
+    /// The backend registry characterizations dispatch through.
+    #[must_use]
+    pub fn backends(&self) -> &BackendRegistry {
+        &self.backends
+    }
+
+    /// Resolves `config`'s backend and dispatches one characterization,
+    /// counting it against the backend's telemetry.
+    ///
+    /// Panics on resolution failure — callers on the infallible paths
+    /// have the documented precondition that their configurations
+    /// resolve; [`Explorer::try_characterize`] and the plan compiler
+    /// surface the typed error instead.
+    fn dispatch(&self, config: &MemoryConfig) -> ArrayCharacterization {
+        let index = self
+            .backends
+            .resolve_index(config)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.backend_stats[index].characterizations.inc();
+        let _span = Span::enter(self.backend_stats[index].span.clone());
+        self.backends.backends()[index].characterize(config, &self.node, self.objective)
+    }
+
+    /// Characterizes a configuration's array (cached, thread-safe),
+    /// dispatching misses through the backend registry.
     ///
     /// On a miss the characterization runs without any shard lock held;
-    /// threads racing on the same label converge on the first published
-    /// entry (the function is deterministic, so every racer computes
+    /// threads racing on the same key converge on the first published
+    /// entry (the backends are deterministic, so every racer computes
     /// the same value anyway).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration resolves to zero or several
+    /// backends. Every configuration the study set or the CLI can
+    /// produce resolves under the default registry; use
+    /// [`Explorer::try_characterize`] for untrusted configurations or
+    /// custom registries.
     #[must_use]
     pub fn characterize(&self, config: &MemoryConfig) -> ArrayCharacterization {
+        self.characterize_keyed(&DesignPointKey::of_config(config), config)
+    }
+
+    /// [`Explorer::characterize`] with the canonical key already in
+    /// hand (plan execution computes each job's key once at compile
+    /// time).
+    fn characterize_keyed(
+        &self,
+        key: &DesignPointKey,
+        config: &MemoryConfig,
+    ) -> ArrayCharacterization {
         self.metrics.characterize_calls.inc();
-        self.cache.get_or_insert_with(&config.label(), || {
+        self.cache.get_or_insert_with(key, || {
             // The span times only real characterization work, so its
             // sample count equals the cache's miss count.
             let _span = Span::enter(self.metrics.characterize_span.clone());
-            config.characterize(&self.node, self.objective)
+            self.dispatch(config)
         })
+    }
+
+    /// Characterizes `config` lowered through its backend with the
+    /// array capacity overridden — the hybrid-LLC partitioner's path.
+    /// Uncached (partition capacities are not design points of the
+    /// study grid), but counted against the backend like any dispatch.
+    pub(crate) fn characterize_scaled(
+        &self,
+        config: &MemoryConfig,
+        capacity: Capacity,
+    ) -> (ArrayCharacterization, CellModel) {
+        let index = self
+            .backends
+            .resolve_index(config)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let spec: ArraySpec = self.backends.backends()[index]
+            .lower(config, &self.node)
+            .with_capacity(capacity);
+        let cell = spec.cell().clone();
+        self.backend_stats[index].characterizations.inc();
+        let _span = Span::enter(self.backend_stats[index].span.clone());
+        (spec.characterize(self.objective), cell)
     }
 
     /// Characterizes a configuration's array, verifying the
@@ -202,9 +337,12 @@ impl Explorer {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::NonFinite`] if any characteristic that must be
-    /// finite (latency, energy, power, area) is not.
+    /// Returns [`Error::NoBackend`] or [`Error::BackendConflict`] if
+    /// the configuration does not resolve to exactly one backend, and
+    /// [`Error::NonFinite`] if any characteristic that must be finite
+    /// (latency, energy, power, area) is not.
     pub fn try_characterize(&self, config: &MemoryConfig) -> Result<ArrayCharacterization, Error> {
+        self.backends.resolve(config)?;
         let array = self.characterize(config);
         let non_finite = |field: &str| Error::NonFinite {
             context: format!("{}: {field}", config.label()),
@@ -230,22 +368,20 @@ impl Explorer {
     }
 
     /// Warms the characterization cache for every distinct configuration
-    /// in `configs`, one pool item per distinct label.
+    /// in `configs`, one pool item per distinct [`DesignPointKey`].
     ///
     /// Called by the parallel sweep before fanning out over
     /// (configuration, benchmark) pairs, so co-scheduled workers of the
-    /// same configuration do not redundantly characterize it. Labels
-    /// are deduplicated first: each distinct label is probed by exactly
-    /// one pool item, which keeps the cache's hit/miss counters
-    /// deterministic under any thread count (two workers racing the
-    /// same missing label would otherwise both count a miss).
+    /// same configuration do not redundantly characterize it. Keys are
+    /// deduplicated first ([`KeyedJobs`]): each distinct key is probed
+    /// by exactly one pool item, which keeps the cache's hit/miss
+    /// counters deterministic under any thread count (two workers
+    /// racing the same missing key would otherwise both count a miss).
     pub fn precharacterize(&self, configs: &[MemoryConfig]) {
-        let mut seen = HashSet::new();
-        let distinct: Vec<&MemoryConfig> = configs
-            .iter()
-            .filter(|config| seen.insert(config.label()))
-            .collect();
-        let _ = pool::parallel_map_slice(&distinct, |config| self.characterize(config));
+        let jobs = KeyedJobs::build(configs.iter().cloned(), |_, config| {
+            DesignPointKey::of_config(config)
+        });
+        let _ = jobs.execute(|key, config| self.characterize_keyed(key, config));
     }
 
     /// Evaluates one configuration under one benchmark's traffic.
@@ -254,10 +390,12 @@ impl Explorer {
         let _span = Span::enter(self.metrics.evaluate_span.clone());
         self.metrics.evaluate_calls.inc();
         let array = self.characterize(config);
-        let cell = config.to_spec(&self.node).cell().clone();
+        // Lifetime needs only the cell's endurance model, not a full
+        // lowering — build the cell directly.
+        let cell = CellModel::tentpole(config.technology(), config.tentpole(), &self.node);
         let years = lifetime_years(
             &cell,
-            coldtall_units::Capacity::from_mebibytes(16),
+            Capacity::from_mebibytes(16),
             512,
             benchmark.traffic.writes_per_sec,
         );
@@ -306,15 +444,29 @@ impl Explorer {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::NonFinite`] if any row violates the
+    /// Returns [`Error::NoBackend`] / [`Error::BackendConflict`] if
+    /// some configuration does not resolve to exactly one backend, or
+    /// [`Error::NonFinite`] if any row violates the
     /// finite-or-explicitly-infeasible invariant (infeasible rows with
     /// their documented `INFINITY` sentinel are fine and included).
     pub fn try_sweep_configs(&self, configs: &[MemoryConfig]) -> Result<Vec<LlcEvaluation>, Error> {
-        let rows = self.sweep_configs(configs);
+        let plan = self.plan_sweep(configs)?;
+        let rows = self.execute_par(&plan);
         for row in &rows {
             row.validate()?;
         }
         Ok(rows)
+    }
+
+    /// Compiles a sweep over `configs` under the full SPEC2017 suite
+    /// into a validated [`ExecutionPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoBackend`] / [`Error::BackendConflict`] if
+    /// some configuration does not resolve to exactly one backend.
+    pub fn plan_sweep(&self, configs: &[MemoryConfig]) -> Result<ExecutionPlan, Error> {
+        SweepPlan::new(configs.to_vec()).compile(&self.backends)
     }
 
     /// Evaluates the full study: every configuration of
@@ -337,27 +489,52 @@ impl Explorer {
         self.par_sweep_configs(configs)
     }
 
-    /// The sequential reference sweep: plain loops, no pool.
+    /// The sequential reference sweep: compiles a plan and runs it with
+    /// [`Explorer::execute`] (plain loops, no pool).
     ///
     /// Kept as the determinism oracle for [`Explorer::par_sweep_configs`].
-    /// It warms each distinct label once before the nested evaluation
-    /// loop — mirroring the parallel precharacterize phase — so the
-    /// cache's hit/miss/insert counters come out identical on both
-    /// paths, not just the evaluation rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some configuration does not resolve to exactly one
+    /// backend; use [`Explorer::plan_sweep`] for the typed error.
     #[must_use]
     pub fn sweep_configs_seq(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
+        let plan = self.plan_sweep(configs).unwrap_or_else(|e| panic!("{e}"));
+        self.execute(&plan)
+    }
+
+    /// Compiles and runs the pooled sweep over `configs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some configuration does not resolve to exactly one
+    /// backend; use [`Explorer::plan_sweep`] for the typed error.
+    #[must_use]
+    pub fn par_sweep_configs(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
+        let plan = self.plan_sweep(configs).unwrap_or_else(|e| panic!("{e}"));
+        self.execute_par(&plan)
+    }
+
+    /// Runs a compiled plan sequentially: plain loops, no pool.
+    ///
+    /// The job list is executed first (one characterization per
+    /// distinct key — mirroring the parallel warm-up phase, so the
+    /// cache's hit/miss/insert counters come out identical on both
+    /// paths), then the (configuration x benchmark) grid is evaluated
+    /// in row-major order.
+    #[must_use]
+    pub fn execute(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
         let _span = Span::enter(self.metrics.sweep_span.clone());
-        self.metrics.sweep_configs.add(configs.len() as u64);
-        let mut seen = HashSet::new();
-        for config in configs {
-            if seen.insert(config.label()) {
-                let _ = self.characterize(config);
-            }
+        self.metrics.sweep_configs.add(plan.configs().len() as u64);
+        for job in plan.jobs() {
+            let _ = self.characterize_keyed(job.key(), job.config());
         }
-        let rows: Vec<LlcEvaluation> = configs
+        let rows: Vec<LlcEvaluation> = plan
+            .configs()
             .iter()
             .flat_map(|config| {
-                spec2017()
+                plan.benchmarks()
                     .iter()
                     .map(move |benchmark| self.evaluate(config, benchmark))
             })
@@ -366,22 +543,25 @@ impl Explorer {
         rows
     }
 
-    /// Evaluates the (configuration x benchmark) cross-product on the
-    /// scoped worker pool.
+    /// Runs a compiled plan on the scoped worker pool.
     ///
-    /// Two phases: first the distinct configurations are characterized
-    /// in parallel (the expensive organization searches), then the flat
-    /// pair grid fans out with work stealing. Output order is row-major
-    /// — identical to [`Explorer::sweep_configs_seq`] — and values are
-    /// bit-identical because evaluation is pure floating-point
-    /// arithmetic over the shared cache.
+    /// Two phases: the plan's deduplicated characterization jobs fan
+    /// out first (the expensive organization searches, one pool item
+    /// per distinct key), then the flat pair grid fans out with work
+    /// stealing. Output order is row-major — identical to
+    /// [`Explorer::execute`] — and values are bit-identical because
+    /// evaluation is pure floating-point arithmetic over the shared
+    /// cache.
     #[must_use]
-    pub fn par_sweep_configs(&self, configs: &[MemoryConfig]) -> Vec<LlcEvaluation> {
+    pub fn execute_par(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
         let _span = Span::enter(self.metrics.sweep_span.clone());
-        self.metrics.sweep_configs.add(configs.len() as u64);
-        self.precharacterize(configs);
-        let benchmarks = spec2017();
-        let rows = pool::parallel_map(configs.len() * benchmarks.len(), |index| {
+        self.metrics.sweep_configs.add(plan.configs().len() as u64);
+        let _ = pool::parallel_map_slice(plan.jobs(), |job| {
+            self.characterize_keyed(job.key(), job.config())
+        });
+        let configs = plan.configs();
+        let benchmarks = plan.benchmarks();
+        let rows = pool::parallel_map(plan.rows(), |index| {
             let (c, b) = pool::unflatten(index, benchmarks.len());
             self.evaluate(&configs[c], &benchmarks[b])
         });
@@ -399,7 +579,7 @@ impl Default for Explorer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use coldtall_workloads::benchmark;
+    use coldtall_workloads::{benchmark, spec2017};
 
     /// Compile-time proof that the explorer can be shared across the
     /// worker pool.
@@ -519,6 +699,36 @@ mod tests {
         let rows = explorer.try_sweep_configs(&configs).expect("sweep is NaN-free");
         assert_eq!(rows.len(), 2 * spec2017().len());
         assert_eq!(rows, explorer.sweep_configs(&configs));
+    }
+
+    #[test]
+    fn plan_execute_matches_the_wrapper_paths() {
+        let explorer = Explorer::with_defaults();
+        let configs = [
+            MemoryConfig::sram_350k(),
+            MemoryConfig::edram_77k(),
+            MemoryConfig::sram_350k(), // duplicate: one job, two grid rows
+        ];
+        let plan = explorer.plan_sweep(&configs).expect("plan compiles");
+        assert_eq!(plan.jobs().len(), 2);
+        assert_eq!(plan.rows(), 3 * spec2017().len());
+        let seq = explorer.execute(&plan);
+        let par = explorer.execute_par(&plan);
+        assert_eq!(seq, par);
+        assert_eq!(seq, explorer.sweep_configs(&configs));
+    }
+
+    #[test]
+    fn zero_backend_registry_is_rejected_at_construction() {
+        let registry = Registry::new();
+        let err = Explorer::try_with_backends(
+            ProcessNode::ptm_22nm_hp(),
+            Objective::EnergyDelayProduct,
+            BackendRegistry::new(),
+            &registry,
+        )
+        .expect_err("an empty backend registry cannot characterize the baseline");
+        assert!(matches!(err, Error::NoBackend { .. }), "{err}");
     }
 
     #[test]

@@ -158,18 +158,12 @@ impl Explorer {
             total_bytes * u64::from(16 - hybrid.fast_ways) / 16,
         );
 
-        let fast_spec = hybrid
-            .fast
-            .to_spec(self.node())
-            .with_capacity(fast_capacity);
-        let dense_spec = hybrid
-            .dense
-            .to_spec(self.node())
-            .with_capacity(dense_capacity);
+        let (fast, _) = self.characterize_scaled(&hybrid.fast, fast_capacity);
+        let (dense, dense_cell) = self.characterize_scaled(&hybrid.dense, dense_capacity);
         HybridParts {
-            fast: fast_spec.characterize(self.objective()),
-            dense: dense_spec.characterize(self.objective()),
-            dense_cell: dense_spec.cell().clone(),
+            fast,
+            dense,
+            dense_cell,
             dense_capacity,
         }
     }

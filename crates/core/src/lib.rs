@@ -7,14 +7,19 @@
 //! The flow mirrors Fig. 2 of the paper:
 //!
 //! 1. a [`MemoryConfig`] names one design point — technology, tentpole,
-//!    die count, operating temperature, cooling tier — and lowers it to
-//!    an [`coldtall_array::ArraySpec`] whose characterization comes from
-//!    the NVSim/Destiny/CryoMEM-equivalent backends,
+//!    die count, operating temperature, cooling tier — and a
+//!    [`BackendRegistry`] resolves it to exactly one characterization
+//!    backend ([`CryoMemBackend`] for temperature-swept volatile
+//!    memories, [`DestinyBackend`] for 2D/3D eNVM and stacked SRAM),
+//!    which lowers it to an [`coldtall_array::ArraySpec`] and
+//!    characterizes it,
 //! 2. the application model ([`LlcEvaluation`]) combines the array
 //!    characteristics with a benchmark's LLC traffic into total LLC
 //!    power (with cryogenic cooling overhead), total LLC latency
 //!    relative to the 350 K SRAM baseline, and area,
-//! 3. the [`Explorer`] sweeps configurations across the SPEC2017
+//! 3. the [`Explorer`] compiles sweeps into validated plans
+//!    ([`SweepPlan`] → [`ExecutionPlan`], deduplicated by
+//!    [`DesignPointKey`]) and executes them across the SPEC2017
 //!    profiles, and the [`selection`] engine condenses the sweep into
 //!    the paper's Table II: the optimal LLC per traffic band under
 //!    power, performance, and area objectives, with endurance-screened
@@ -35,6 +40,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod backend;
 mod config;
 mod error;
 mod evaluate;
@@ -43,16 +49,22 @@ mod hybrid;
 mod lifetime;
 mod parcache;
 mod pareto;
+mod plan;
 pub mod pool;
 pub mod report;
 pub mod selection;
 mod thermal_schedule;
 mod variation;
 
+pub use backend::{
+    BackendCapabilities, BackendRegistry, CharacterizationBackend, CryoMemBackend,
+    DestinyBackend,
+};
 pub use config::MemoryConfig;
 pub use error::Error;
 pub use evaluate::{Feasibility, LlcEvaluation};
 pub use explorer::Explorer;
+pub use plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 pub use hybrid::HybridLlc;
 pub use parcache::{CacheMetrics, ShardedCache};
 pub use pareto::{pareto_front, recommend, Constraints};

@@ -1,7 +1,11 @@
 //! Sharded, lock-striped characterization cache.
 //!
-//! The explorer memoizes array characterizations by configuration
-//! label. A single `Mutex<HashMap>` would serialize every worker of a
+//! The explorer memoizes array characterizations by canonical
+//! [`DesignPointKey`] — the same key type the plan compiler
+//! deduplicates jobs by and the worker pool claims them by, so one
+//! identity threads the whole pipeline (display labels round
+//! temperatures and are not unique; keys are).
+//! A single `Mutex<HashMap>` would serialize every worker of a
 //! parallel sweep on one lock; a `RefCell` (the previous design) is
 //! not `Sync` at all. This cache stripes the key space over `N`
 //! independent `RwLock<HashMap>` shards selected by key hash, so
@@ -31,6 +35,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, PoisonError, RwLock};
 
 use coldtall_obs::{Counter, Registry};
+
+use crate::plan::DesignPointKey;
 
 /// Number of lock stripes. A small power of two keeps the modulo cheap
 /// while comfortably exceeding any realistic worker count's collision
@@ -147,13 +153,14 @@ impl CacheMetrics {
     }
 }
 
-/// A concurrent string-keyed memo table with `SHARDS` lock stripes.
+/// A concurrent memo table keyed by [`DesignPointKey`] with `SHARDS`
+/// lock stripes.
 ///
 /// Values are cloned out; `V` is expected to be a plain data record
 /// (the explorer stores `ArrayCharacterization`).
 #[derive(Debug)]
 pub struct ShardedCache<V> {
-    shards: Vec<RwLock<HashMap<String, V>>>,
+    shards: Vec<RwLock<HashMap<DesignPointKey, V>>>,
     metrics: CacheMetrics,
 }
 
@@ -180,22 +187,18 @@ impl<V: Clone> ShardedCache<V> {
         &self.metrics
     }
 
-    /// FNV-1a over the key bytes: deterministic across processes (the
-    /// std `RandomState` is not), cheap, and well-mixed for short
-    /// configuration labels.
-    fn shard_index(key: &str) -> usize {
-        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
-        for byte in key.bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        (hash % SHARDS as u64) as usize
+    /// The key's lock stripe: its precomputed FNV-1a hash
+    /// ([`DesignPointKey::stable_hash`], deterministic across
+    /// processes where the std `RandomState` is not) modulo the stripe
+    /// count.
+    fn shard_index(key: &DesignPointKey) -> usize {
+        (key.stable_hash() % SHARDS as u64) as usize
     }
 
     /// Returns a clone of the cached value, if present. Counts exactly
     /// one hit or one miss against the key's stripe.
     #[must_use]
-    pub fn get(&self, key: &str) -> Option<V> {
+    pub fn get(&self, key: &DesignPointKey) -> Option<V> {
         let stripe = Self::shard_index(key);
         let found = self.shards[stripe]
             .read()
@@ -216,7 +219,7 @@ impl<V: Clone> ShardedCache<V> {
     ///
     /// Counts one hit or miss for the initial probe (never both), and
     /// one insert only for the publication that actually lands.
-    pub fn get_or_insert_with(&self, key: &str, compute: impl FnOnce() -> V) -> V {
+    pub fn get_or_insert_with(&self, key: &DesignPointKey, compute: impl FnOnce() -> V) -> V {
         if let Some(hit) = self.get(key) {
             return hit;
         }
@@ -225,7 +228,7 @@ impl<V: Clone> ShardedCache<V> {
         match self.shards[stripe]
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .entry(key.to_string())
+            .entry(key.clone())
         {
             std::collections::hash_map::Entry::Occupied(existing) => existing.get().clone(),
             std::collections::hash_map::Entry::Vacant(slot) => {
@@ -268,13 +271,17 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    fn key(token: &str) -> DesignPointKey {
+        DesignPointKey::synthetic(token)
+    }
+
     #[test]
     fn miss_then_hit() {
         let cache: ShardedCache<u32> = ShardedCache::new();
         assert!(cache.is_empty());
-        assert_eq!(cache.get("a"), None);
-        assert_eq!(cache.get_or_insert_with("a", || 7), 7);
-        assert_eq!(cache.get("a"), Some(7));
+        assert_eq!(cache.get(&key("a")), None);
+        assert_eq!(cache.get_or_insert_with(&key("a"), || 7), 7);
+        assert_eq!(cache.get(&key("a")), Some(7));
         assert_eq!(cache.len(), 1);
     }
 
@@ -283,7 +290,7 @@ mod tests {
         let cache: ShardedCache<u32> = ShardedCache::new();
         let calls = AtomicUsize::new(0);
         for _ in 0..5 {
-            let v = cache.get_or_insert_with("k", || {
+            let v = cache.get_or_insert_with(&key("k"), || {
                 calls.fetch_add(1, Ordering::Relaxed);
                 3
             });
@@ -296,7 +303,7 @@ mod tests {
     fn keys_spread_over_multiple_shards() {
         let cache: ShardedCache<usize> = ShardedCache::new();
         for i in 0..200 {
-            let _ = cache.get_or_insert_with(&format!("config-{i}"), || i);
+            let _ = cache.get_or_insert_with(&key(&format!("config-{i}")), || i);
         }
         assert_eq!(cache.len(), 200);
         let occupied = cache
@@ -310,10 +317,10 @@ mod tests {
     #[test]
     fn probes_count_hits_misses_and_inserts() {
         let cache: ShardedCache<u32> = ShardedCache::new();
-        assert_eq!(cache.get("a"), None); // miss
-        assert_eq!(cache.get_or_insert_with("a", || 1), 1); // miss + insert
-        assert_eq!(cache.get_or_insert_with("a", || 2), 1); // hit
-        assert_eq!(cache.get("a"), Some(1)); // hit
+        assert_eq!(cache.get(&key("a")), None); // miss
+        assert_eq!(cache.get_or_insert_with(&key("a"), || 1), 1); // miss + insert
+        assert_eq!(cache.get_or_insert_with(&key("a"), || 2), 1); // hit
+        assert_eq!(cache.get(&key("a")), Some(1)); // hit
         let m = cache.metrics();
         assert_eq!((m.hits(), m.misses(), m.inserts()), (2, 2, 1));
     }
@@ -324,8 +331,8 @@ mod tests {
         let cache: ShardedCache<usize> =
             ShardedCache::with_metrics(CacheMetrics::registered(&registry, "cache"));
         for i in 0..50 {
-            let _ = cache.get_or_insert_with(&format!("key-{i}"), || i); // misses
-            let _ = cache.get_or_insert_with(&format!("key-{i}"), || i); // hits
+            let _ = cache.get_or_insert_with(&key(&format!("key-{i}")), || i); // misses
+            let _ = cache.get_or_insert_with(&key(&format!("key-{i}")), || i); // hits
         }
         let m = cache.metrics();
         let (mut hits, mut misses, mut inserts) = (0, 0, 0);
@@ -355,7 +362,9 @@ mod tests {
             let handles: Vec<_> = (0..64)
                 .map(|i| {
                     let cache = &cache;
-                    scope.spawn(move || cache.get_or_insert_with("contested", move || i))
+                    scope.spawn(move || {
+                        cache.get_or_insert_with(&key("contested"), move || i)
+                    })
                 })
                 .collect();
             handles
@@ -363,7 +372,7 @@ mod tests {
                 .map(|h| h.join().expect("cache worker panicked"))
                 .collect()
         });
-        let winner = cache.get("contested").expect("winner published");
+        let winner = cache.get(&key("contested")).expect("winner published");
         assert!(results.iter().all(|&r| r == winner));
         assert_eq!(cache.len(), 1);
     }

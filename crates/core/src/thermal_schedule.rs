@@ -107,8 +107,9 @@ pub fn plan_schedule(
     assert!(!candidates.is_empty(), "need at least one temperature");
 
     // Per-phase, per-candidate energies: warm the characterization
-    // cache (one array per candidate temperature) in parallel, then fan
-    // the (phase x candidate) grid out over the worker pool.
+    // cache (one keyed job per candidate temperature, dispatched
+    // through the backend registry) in parallel, then fan the
+    // (phase x candidate) grid out over the worker pool.
     let temp_configs: Vec<MemoryConfig> = candidates
         .iter()
         .map(|&t| MemoryConfig::volatile_2d(technology, t))

@@ -139,9 +139,16 @@ pub fn monte_carlo(
 
     // Sampling is sequential (one RNG stream keeps seeds meaningful);
     // the expensive part — one organization search per sampled cell —
-    // fans out over the worker pool.
+    // fans out over the worker pool as a keyed job set. Sample keys are
+    // synthetic: every draw is a distinct device, so nothing dedups.
     let cells = sample_cells(technology, samples, seed, &node);
-    let characterized = crate::pool::parallel_map_slice(&cells, |cell| {
+    let jobs = crate::plan::KeyedJobs::build(cells, |i, _| {
+        crate::plan::DesignPointKey::synthetic(&format!(
+            "mc|{}|d{dies}|s{seed}|{i}",
+            technology.name()
+        ))
+    });
+    let characterized = jobs.execute(|_, cell| {
         let mut spec = ArraySpec::llc_16mib(cell.clone(), &node);
         if dies > 1 {
             spec = spec.with_dies(dies);

@@ -22,6 +22,13 @@
 //! `(0..n).map(f).collect()` whenever `f(i)` depends only on `i` — the
 //! scheduling order varies between runs, the output order never does.
 //!
+//! The pool itself is key-agnostic: it schedules by index. Sweep job
+//! claiming is keyed one layer up, in `coldtall-core`'s execution
+//! plans, where each characterization job carries a canonical
+//! `DesignPointKey` — duplicates are deduplicated *before* the plan
+//! reaches the pool, so two workers never race to characterize the
+//! same design point.
+//!
 //! # Examples
 //!
 //! ```

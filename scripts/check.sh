@@ -12,3 +12,6 @@ cargo test -q
 # environment variable may reach a panic.
 cargo test -q --test fault_injection
 cargo clippy --workspace --all-targets -- -D warnings
+# Documentation is part of the API surface: a broken intra-doc link or
+# an undocumented public item on the strict modules fails the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

@@ -20,7 +20,7 @@ use std::process::ExitCode;
 
 use coldtall::cell::Tentpole;
 use coldtall::core::report::{sci, TextTable};
-use coldtall::core::{selection, Constraints, Explorer, MemoryConfig};
+use coldtall::core::{selection, BackendRegistry, Constraints, Explorer, MemoryConfig};
 use coldtall::units::Kelvin;
 use coldtall::workloads::spec2017;
 
@@ -52,15 +52,18 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "list" => Options::parse(&args[1..], &[]).and_then(|_| cmd_list()),
-        "characterize" => Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp"])
-            .and_then(|opts| cmd_characterize(&opts)),
+        "characterize" => {
+            Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp", "backend"])
+                .and_then(|opts| cmd_characterize(&opts))
+        }
         "evaluate" => {
-            Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp", "bench"])
+            Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp", "bench", "backend"])
                 .and_then(|opts| cmd_evaluate(&opts))
         }
         "recommend" => Options::parse(&args[1..], &["bench", "max-area"])
             .and_then(|opts| cmd_recommend(&opts)),
         "table2" => Options::parse(&args[1..], &[]).and_then(|_| cmd_table2()),
+        "backends" => Options::parse(&args[1..], &[]).and_then(|_| cmd_backends()),
         "sweep" => Options::parse(&args[1..], &[]).and_then(|_| cmd_sweep()),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -101,6 +104,7 @@ fn print_usage() {
          \x20 recommend       lowest-power viable choice for a benchmark\n\
          \x20 table2          the optimal-LLC summary table\n\
          \x20 sweep           the full study sweep, summarized per configuration\n\
+         \x20 backends        the characterization backends and their capabilities\n\
          \n\
          DESIGN-POINT OPTIONS:\n\
          \x20 --tech <sram|edram|pcm|stt|rram>   technology (default sram)\n\
@@ -111,6 +115,9 @@ fn print_usage() {
          OTHER OPTIONS:\n\
          \x20 --bench <name>                     benchmark (default namd)\n\
          \x20 --max-area <mm2>                   area constraint for recommend\n\
+         \x20 --backend <cryomem|destiny>        pin the characterization backend;\n\
+         \x20                                    errors if it is not the one the\n\
+         \x20                                    registry resolves for the point\n\
          \x20 --metrics[=json]                   after the command, report engine\n\
          \x20                                    telemetry (cache hit rates, pool\n\
          \x20                                    utilization, span timings) to stderr\n\
@@ -178,9 +185,7 @@ fn parse_config(opts: &Options) -> Result<MemoryConfig, String> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| "bad --dies value".to_string())?;
-    if !matches!(dies, 1 | 2 | 4 | 8) {
-        return Err("--dies must be 1, 2, 4, or 8".into());
-    }
+    MemoryConfig::validate_dies(dies).map_err(|e| format!("--dies: {e}"))?;
     let temp: f64 = opts
         .get("temp")
         .unwrap_or("350")
@@ -206,6 +211,54 @@ fn benchmark_name(opts: &Options) -> &str {
     opts.get("bench").unwrap_or("namd")
 }
 
+/// Resolves the backend the registry picks for `config` and, when the
+/// user pinned one with `--backend`, insists the pin matches. A pin
+/// never reroutes characterization — it asserts the routing, so a
+/// script that expects the Destiny path fails loudly if its point is
+/// actually served by CryoMEM.
+fn check_backend(opts: &Options, explorer: &Explorer, config: &MemoryConfig) -> Result<&'static str, String> {
+    let resolved = explorer
+        .backends()
+        .resolve(config)
+        .map_err(|e| e.to_string())?
+        .name();
+    if let Some(pinned) = opts.get("backend") {
+        if explorer.backends().get(pinned).is_none() {
+            return Err(format!("unknown backend '{pinned}'"));
+        }
+        if pinned != resolved {
+            return Err(format!(
+                "backend '{pinned}' does not serve {config}: the registry resolves it to '{resolved}'"
+            ));
+        }
+    }
+    Ok(resolved)
+}
+
+fn cmd_backends() -> Result<(), String> {
+    let registry = BackendRegistry::with_defaults();
+    let mut table = TextTable::new(&["backend", "technologies", "temperature", "dies"]);
+    for backend in registry.backends() {
+        let caps = backend.capabilities();
+        let technologies: Vec<&str> =
+            caps.technologies().iter().map(|t| t.name()).collect();
+        let dies: Vec<String> =
+            caps.die_counts().iter().map(u8::to_string).collect();
+        table.row_owned(vec![
+            backend.name().to_string(),
+            technologies.join(", "),
+            format!(
+                "{:.0}-{:.0} K",
+                caps.min_temperature().get(),
+                caps.max_temperature().get()
+            ),
+            dies.join("/"),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
 fn cmd_list() -> Result<(), String> {
     let mut table = TextTable::new(&["benchmark", "suite", "reads_per_s", "writes_per_s", "band"]);
     for b in spec2017() {
@@ -228,10 +281,12 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_characterize(opts: &Options) -> Result<(), String> {
     let config = parse_config(opts)?;
     let explorer = Explorer::with_defaults();
+    let backend = check_backend(opts, &explorer, &config)?;
     let a = explorer
         .try_characterize(&config)
         .map_err(|e| e.to_string())?;
     println!("{}:", config.label());
+    println!("  backend           : {backend}");
     println!("  organization      : {} subarrays x {} dies", a.organization, a.dies);
     println!("  read latency      : {}", a.read_latency);
     println!("  write latency     : {}", a.write_latency);
@@ -247,6 +302,7 @@ fn cmd_characterize(opts: &Options) -> Result<(), String> {
 fn cmd_evaluate(opts: &Options) -> Result<(), String> {
     let config = parse_config(opts)?;
     let explorer = Explorer::with_defaults();
+    check_backend(opts, &explorer, &config)?;
     // Infeasible design points are still printable results — only
     // invalid inputs (or a NaN-invariant violation) error out.
     let e = explorer

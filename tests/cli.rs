@@ -71,6 +71,42 @@ fn table2_prints_three_bands() {
 }
 
 #[test]
+fn backends_command_lists_capabilities() {
+    let (ok, out, _) = run(&["backends"]);
+    assert!(ok);
+    assert!(out.contains("cryomem"), "output: {out}");
+    assert!(out.contains("destiny"), "output: {out}");
+    assert!(out.contains("60-400 K"), "temperature span shown: {out}");
+    assert!(out.contains("1/2/4/8"), "Destiny die counts shown: {out}");
+}
+
+#[test]
+fn backend_pin_matches_and_mismatches() {
+    // A correct pin succeeds and the resolved backend is reported.
+    let (ok, out, _) = run(&["characterize", "--tech", "edram", "--temp", "77", "--backend", "cryomem"]);
+    assert!(ok);
+    assert!(out.contains("backend           : cryomem"), "output: {out}");
+
+    // Without a pin, the resolved backend is still reported.
+    let (ok, out, _) = run(&["characterize", "--tech", "pcm", "--dies", "4"]);
+    assert!(ok);
+    assert!(out.contains("backend           : destiny"), "output: {out}");
+
+    // A pin that contradicts the registry's resolution is an error.
+    let (ok, _, err) = run(&["characterize", "--tech", "pcm", "--backend", "cryomem"]);
+    assert!(!ok);
+    assert!(
+        err.contains("does not serve") && err.contains("destiny"),
+        "stderr: {err}"
+    );
+
+    // An unknown backend name is an error, not a silent default.
+    let (ok, _, err) = run(&["evaluate", "--backend", "nvsim"]);
+    assert!(!ok);
+    assert!(err.contains("unknown backend 'nvsim'"), "stderr: {err}");
+}
+
+#[test]
 fn bad_inputs_are_reported() {
     let (ok, _, err) = run(&["evaluate", "--bench", "doom"]);
     assert!(!ok);

@@ -76,6 +76,18 @@ fn hostile_cli_arguments_never_panic() {
         &["list", "--tech", "sram"],
         // Stacked volatile memories outside the study.
         &["characterize", "--tech", "edram", "--dies", "8"],
+        // Backend pinning abuse: unknown names, empty names, a pin
+        // that contradicts the registry's resolution, and commands
+        // that do not accept the option at all.
+        &["characterize", "--backend", "nvsim"],
+        &["characterize", "--backend", ""],
+        &["characterize", "--backend", "destiny"],
+        &["evaluate", "--backend", "cryomem", "--tech", "pcm", "--dies", "4"],
+        &["evaluate", "--backend", "CRYOMEM"],
+        &["sweep", "--backend", "cryomem"],
+        &["recommend", "--backend", "destiny"],
+        &["backends", "--tech", "sram"],
+        &["backends", "extra-positional"],
     ];
     for args in cases {
         assert_graceful_failure(args);
@@ -206,6 +218,32 @@ fn every_study_row_validates_nan_free() {
             );
         }
     }
+}
+
+/// A registry with no backends at all — the worst misconfiguration a
+/// library embedder can produce — fails with typed errors at every
+/// entry point, never a panic.
+#[test]
+fn zero_backend_registry_fails_typed_at_every_entry_point() {
+    use coldtall::core::{BackendRegistry, Error, SweepPlan};
+    let empty = BackendRegistry::new();
+
+    let err = empty.resolve(&MemoryConfig::sram_350k()).unwrap_err();
+    assert!(matches!(err, Error::NoBackend { .. }), "{err}");
+    assert!(err.to_string().contains("no characterization backend"));
+
+    let err = SweepPlan::study().compile(&empty).unwrap_err();
+    assert!(matches!(err, Error::NoBackend { .. }), "{err}");
+
+    let metrics = coldtall::obs::Registry::new();
+    let err = Explorer::try_with_backends(
+        ProcessNode::ptm_22nm_hp(),
+        coldtall::array::Objective::EnergyDelayProduct,
+        BackendRegistry::new(),
+        &metrics,
+    )
+    .expect_err("an explorer cannot exist without a baseline backend");
+    assert!(matches!(err, Error::NoBackend { .. }), "{err}");
 }
 
 /// Adversarial-but-legal corners of the library API: extreme yet valid

@@ -142,6 +142,27 @@ fn artifacts_match_golden_files_with_four_threads() {
     check_all_artifacts("4-thread");
 }
 
+/// The artifacts above are all regenerated through the plan/execute
+/// pipeline; pin the study plan's shape so a backend or dedup
+/// regression is caught here, next to the bytes it would corrupt.
+#[test]
+fn study_plan_invariants_behind_the_goldens() {
+    use coldtall::core::{BackendRegistry, SweepPlan};
+    let plan = SweepPlan::study()
+        .compile(&BackendRegistry::with_defaults())
+        .expect("the study always compiles against the default backends");
+    assert_eq!(plan.jobs().len(), 31, "one job per distinct design point");
+    assert_eq!(plan.rows(), 31 * 23, "the full study grid");
+    for job in plan.jobs() {
+        assert!(
+            matches!(job.backend(), "cryomem" | "destiny"),
+            "unexpected backend '{}' for {}",
+            job.backend(),
+            job.config().label()
+        );
+    }
+}
+
 /// The suite covers the complete `results/` directory — a new artifact
 /// must be added to [`ARTIFACTS`] (and a removed one deleted) or this
 /// test fails, keeping the golden set exhaustive by construction.

@@ -97,6 +97,78 @@ fn counters_identical_between_sequential_and_parallel_sweeps() {
     );
 }
 
+/// Per-backend dispatch counters: every characterization that misses
+/// the cache (plus the constructor's eager baseline) lands on exactly
+/// one backend's `backend.<name>.characterizations` counter, and the
+/// tallies are as deterministic as every other counter.
+#[test]
+fn backend_counters_attribute_every_dispatch() {
+    let registry = Registry::new();
+    let explorer = observed_explorer(&registry);
+    // The small set is all single-die volatile: everything routes to
+    // CryoMEM, and Destiny's counter registers but never moves.
+    let _ = explorer.sweep_configs(&small_config_set());
+    let misses = registry.counter_value("cache.misses").unwrap();
+    let cryomem = registry
+        .counter_value("backend.cryomem.characterizations")
+        .expect("cryomem counter registered");
+    assert_eq!(
+        cryomem,
+        misses + 1,
+        "one dispatch per miss, plus the constructor's eager baseline"
+    );
+    assert_eq!(
+        registry.counter_value("backend.destiny.characterizations"),
+        Some(0),
+        "no eNVM or stacked point in this sweep"
+    );
+
+    // A stacked point moves Destiny's counter without touching CryoMEM's.
+    let stacked = MemoryConfig::envm_3d(
+        coldtall::cell::MemoryTechnology::Pcm,
+        coldtall::cell::Tentpole::Optimistic,
+        4,
+    );
+    let _ = explorer.characterize(&stacked);
+    assert_eq!(
+        registry.counter_value("backend.destiny.characterizations"),
+        Some(1)
+    );
+    assert_eq!(
+        registry.counter_value("backend.cryomem.characterizations"),
+        Some(cryomem)
+    );
+}
+
+/// The backend counters obey the same thread-count determinism contract
+/// as the rest of the telemetry (they are part of
+/// `Registry::counters`, so this also rides on
+/// `counters_identical_between_sequential_and_parallel_sweeps`; the
+/// explicit check documents the per-backend guarantee).
+#[test]
+fn backend_counters_identical_between_sequential_and_parallel_sweeps() {
+    let configs = small_config_set();
+    let seq_registry = Registry::new();
+    let _ = observed_explorer(&seq_registry).sweep_configs_seq(&configs);
+    let par_registry = Registry::new();
+    {
+        let _lock = POOL_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        pool::set_max_threads(4);
+        let _ = observed_explorer(&par_registry).par_sweep_configs(&configs);
+        pool::set_max_threads(0);
+    }
+    for name in [
+        "backend.cryomem.characterizations",
+        "backend.destiny.characterizations",
+    ] {
+        assert_eq!(
+            seq_registry.counter_value(name),
+            par_registry.counter_value(name),
+            "{name} must not depend on the pool width"
+        );
+    }
+}
+
 #[test]
 fn characterization_span_counts_only_real_work() {
     let registry = Registry::new();
