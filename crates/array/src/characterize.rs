@@ -56,16 +56,26 @@ impl ArrayCharacterization {
     /// Evaluates `spec` under a fixed internal organization.
     #[must_use]
     pub fn evaluate(spec: &ArraySpec, org: Organization) -> Self {
-        let ctx = Ctx::new(spec, org);
+        Self::from_ctx(&Ctx::new(spec, org))
+    }
 
-        let t_dec = decoder::delay(&ctx);
-        let t_wl = wordline::delay(&ctx);
-        let t_bl_read = bitline::read_delay(&ctx);
-        let t_bl_write = bitline::write_delay(&ctx);
-        let t_sense = sense::delay(&ctx);
-        let t_htree = htree::delay(&ctx);
-        let t_tsv = vertical::delay(&ctx);
-        let t_pulse = sense::write_pulse(&ctx);
+    /// Evaluates a pre-built context — the organization search's entry
+    /// point, which shares one `DeviceCtx` (and, on the two-phase
+    /// path, cached geometries) across candidates. Produces exactly
+    /// the bytes of [`ArrayCharacterization::evaluate`] on an equal
+    /// context.
+    #[must_use]
+    pub(crate) fn from_ctx(ctx: &Ctx<'_>) -> Self {
+        let (spec, org) = (ctx.spec, ctx.org);
+
+        let t_dec = decoder::delay(ctx);
+        let t_wl = wordline::delay(ctx);
+        let t_bl_read = bitline::read_delay(ctx);
+        let t_bl_write = bitline::write_delay(ctx);
+        let t_sense = sense::delay(ctx);
+        let t_htree = htree::delay(ctx);
+        let t_tsv = vertical::delay(ctx);
+        let t_pulse = sense::write_pulse(ctx);
 
         let read_latency = t_dec + t_wl + t_bl_read + t_sense + t_htree + t_tsv;
         let write_latency = t_dec + t_wl + t_bl_write + t_pulse + t_htree + t_tsv;
@@ -75,14 +85,14 @@ impl ArrayCharacterization {
         let read_cycle_time = t_wl + t_bl_read + t_sense;
         let write_cycle_time = t_wl + t_bl_write + t_pulse;
 
-        let e_common = decoder::energy(&ctx) + wordline::energy(&ctx) + htree::energy(&ctx)
-            + vertical::energy(&ctx);
-        let read_energy = e_common + bitline::read_energy(&ctx) + sense::read_energy(&ctx);
+        let e_common = decoder::energy(ctx) + wordline::energy(ctx) + htree::energy(ctx)
+            + vertical::energy(ctx);
+        let read_energy = e_common + bitline::read_energy(ctx) + sense::read_energy(ctx);
         let write_energy =
-            e_common + bitline::write_energy(&ctx) + sense::write_energy(&ctx);
+            e_common + bitline::write_energy(ctx) + sense::write_energy(ctx);
 
-        let leakage_power = leakage::total(&ctx);
-        let (refresh_power, refresh_busy_fraction, retention) = match refresh::profile(&ctx) {
+        let leakage_power = leakage::total(ctx);
+        let (refresh_power, refresh_busy_fraction, retention) = match refresh::profile(ctx) {
             Some(p) => (p.power, p.busy_fraction, Some(p.retention)),
             None => (Watts::ZERO, 0.0, None),
         };

@@ -24,6 +24,49 @@ use crate::spec::ArraySpec;
 
 pub use geometry::Geometry;
 
+/// Organization-independent half of the evaluation context: the node's
+/// standard devices and the timing constants derived at the spec's
+/// operating point.
+///
+/// An organization search evaluates every candidate of one spec, so
+/// these values are built once per search and shared across candidates
+/// via [`Ctx::with_parts`] instead of being recomputed 25 times.
+#[derive(Debug, Clone)]
+pub struct DeviceCtx {
+    /// Plain NMOS device of the node.
+    pub nmos: Mosfet,
+    /// Plain PMOS device of the node.
+    pub pmos: Mosfet,
+    /// Fan-of-four inverter delay at the operating point.
+    pub fo4: Seconds,
+    /// Intrinsic device RC product used for repeater insertion.
+    pub device_rc: Seconds,
+}
+
+impl DeviceCtx {
+    /// Builds the device context for `spec`'s node, operating point,
+    /// and stacking style.
+    #[must_use]
+    pub fn new(spec: &ArraySpec) -> Self {
+        let node = spec.node();
+        let op = spec.op();
+        let nmos = Mosfet::nmos(node);
+        let pmos = Mosfet::pmos(node);
+        let w_min = node.min_width();
+        let r_eq = nmos.equivalent_resistance(op, w_min);
+        let c_load = nmos.gate_cap(w_min) * 4.0 + nmos.junction_cap(w_min);
+        let fo4 = Seconds::new(calib::FO4_FACTOR * r_eq.get() * c_load.get())
+            * spec.stacking().device_derate();
+        let device_rc = Seconds::new(r_eq.get() * nmos.gate_cap(w_min).get());
+        Self {
+            nmos,
+            pmos,
+            fo4,
+            device_rc,
+        }
+    }
+}
+
 /// Shared evaluation context: the spec, the candidate organization, the
 /// derived geometry, and pre-built device models.
 #[derive(Debug)]
@@ -47,25 +90,32 @@ pub struct Ctx<'a> {
 impl<'a> Ctx<'a> {
     /// Builds the context for one candidate organization.
     pub fn new(spec: &'a ArraySpec, org: Organization) -> Self {
-        let node = spec.node();
-        let op = spec.op();
-        let nmos = Mosfet::nmos(node);
-        let pmos = Mosfet::pmos(node);
-        let w_min = node.min_width();
-        let r_eq = nmos.equivalent_resistance(op, w_min);
-        let c_load = nmos.gate_cap(w_min) * 4.0 + nmos.junction_cap(w_min);
-        let fo4 = Seconds::new(calib::FO4_FACTOR * r_eq.get() * c_load.get())
-            * spec.stacking().device_derate();
-        let device_rc = Seconds::new(r_eq.get() * nmos.gate_cap(w_min).get());
-        let geom = Geometry::derive(spec, org);
+        Self::with_parts(spec, org, Geometry::derive(spec, org), &DeviceCtx::new(spec))
+    }
+
+    /// Builds the context from pre-derived parts: a (possibly cached)
+    /// geometry and a device context shared across the candidates of
+    /// one search.
+    ///
+    /// `geom` must equal `Geometry::derive(spec, org)`. Geometry reads
+    /// only the node, cell, organization, and stacking style — never
+    /// the operating point — so a geometry derived from the same spec
+    /// at *any* temperature qualifies; this is what lets the two-phase
+    /// kernel reuse one geometry solve across a temperature sweep.
+    pub fn with_parts(
+        spec: &'a ArraySpec,
+        org: Organization,
+        geom: Geometry,
+        devices: &DeviceCtx,
+    ) -> Self {
         Self {
             spec,
             org,
             geom,
-            nmos,
-            pmos,
-            fo4,
-            device_rc,
+            nmos: devices.nmos.clone(),
+            pmos: devices.pmos.clone(),
+            fo4: devices.fo4,
+            device_rc: devices.device_rc,
         }
     }
 

@@ -43,13 +43,16 @@ mod characterize;
 mod ecc;
 mod components;
 mod optimizer;
+mod org_geometry;
 mod organization;
 mod spec;
 mod stacking;
 
 pub use characterize::ArrayCharacterization;
+pub use components::Geometry;
 pub use ecc::EccScheme;
-pub use optimizer::{optimize, Objective};
+pub use optimizer::{optimize, score_lower_bound, Objective};
+pub use org_geometry::OrgGeometry;
 pub use organization::Organization;
 pub use spec::{ArraySpec, SpecError};
 pub use stacking::Stacking;

@@ -2,7 +2,13 @@
 
 use core::fmt;
 
+use coldtall_units::{Joules, Seconds, Watts};
+
 use crate::characterize::ArrayCharacterization;
+use crate::components::{
+    bitline, decoder, htree, leakage, refresh, sense, vertical, wordline, Ctx, DeviceCtx,
+    Geometry,
+};
 use crate::organization::Organization;
 use crate::spec::ArraySpec;
 
@@ -52,19 +58,147 @@ impl fmt::Display for Objective {
     }
 }
 
+/// The feasible candidate organizations of `spec`, each paired with
+/// its derived (temperature-invariant) geometry, in canonical candidate
+/// order.
+///
+/// Organizations whose subarray would exceed the per-die share of the
+/// array (more subarray bits than one die stores) are skipped; at
+/// least one candidate always remains for the capacities in this
+/// study. This is phase 1 of the two-phase kernel — the list depends
+/// on capacity, cell, node, and stacking, never on the operating
+/// point, so [`crate::OrgGeometry`] caches it across a temperature
+/// sweep.
+pub(crate) fn feasible_candidates(spec: &ArraySpec) -> Vec<(Organization, Geometry)> {
+    let total_bits = spec.capacity().bits_f64() * spec.storage_overhead();
+    Organization::candidates()
+        .filter(|org| {
+            // A subarray must not dwarf the per-die share of the array.
+            let per_die = total_bits / f64::from(spec.dies());
+            org.bits_per_subarray() as f64 <= per_die
+        })
+        .map(|org| (org, Geometry::derive(spec, org)))
+        .collect()
+}
+
+/// Read latency assembled term-for-term as
+/// [`ArrayCharacterization::from_ctx`] assembles it, computing only the
+/// read-path components. Bit-identical to the `read_latency` field of
+/// the full characterization for an equal context.
+fn read_latency(ctx: &Ctx<'_>) -> Seconds {
+    decoder::delay(ctx)
+        + wordline::delay(ctx)
+        + bitline::read_delay(ctx)
+        + sense::delay(ctx)
+        + htree::delay(ctx)
+        + vertical::delay(ctx)
+}
+
+/// Read energy assembled term-for-term as
+/// [`ArrayCharacterization::from_ctx`] assembles it (the shared-term
+/// sum there associates identically). Bit-identical to the
+/// `read_energy` field of the full characterization.
+fn read_energy(ctx: &Ctx<'_>) -> Joules {
+    decoder::energy(ctx)
+        + wordline::energy(ctx)
+        + htree::energy(ctx)
+        + vertical::energy(ctx)
+        + bitline::read_energy(ctx)
+        + sense::read_energy(ctx)
+}
+
+/// Standby power assembled as
+/// [`ArrayCharacterization::standby_power`] assembles it. Bit-identical
+/// to `leakage_power + refresh_power` of the full characterization.
+fn standby_power(ctx: &Ctx<'_>) -> Watts {
+    let refresh = refresh::profile(ctx).map_or(Watts::ZERO, |p| p.power);
+    leakage::total(ctx) + refresh
+}
+
+/// A monotone lower bound on [`Objective::score`] for the candidate in
+/// `ctx`, so `lower_bound(ctx, o) <= o.score(&from_ctx(ctx))` always
+/// holds (see `DESIGN.md` § Two-phase characterization kernel for the
+/// soundness argument). The bound is in fact *exact*: it is the
+/// objective's own score, evaluated from only the component models the
+/// objective reads — the read path for EDP/latency/energy, geometry
+/// for area, leakage and refresh for standby power. Each expression
+/// mirrors [`ArrayCharacterization::from_ctx`]'s term order exactly,
+/// so the bound equals the eventual score to the last bit; what makes
+/// it cheap is everything it does *not* run (the write-path, leakage,
+/// and refresh models for the read objectives — roughly a third of a
+/// full characterization, including the temperature-dependent
+/// subthreshold and retention physics).
+fn lower_bound(ctx: &Ctx<'_>, objective: Objective) -> f64 {
+    match objective {
+        // Operand order matches `ArrayCharacterization::read_edp`.
+        Objective::EnergyDelayProduct => read_energy(ctx).get() * read_latency(ctx).get(),
+        Objective::ReadLatency => read_latency(ctx).get(),
+        Objective::ReadEnergy => read_energy(ctx).get(),
+        Objective::Area => ctx.geom.footprint,
+        Objective::StandbyPower => standby_power(ctx).get(),
+    }
+}
+
+/// [`Objective::score`]'s lower bound for one candidate, built from a
+/// fresh context. Exposed so the prune's soundness invariant
+/// (`score_lower_bound <= score`) is testable from outside the crate
+/// (the bound is exact, so equality is what tests observe).
+#[must_use]
+pub fn score_lower_bound(spec: &ArraySpec, org: Organization, objective: Objective) -> f64 {
+    lower_bound(&Ctx::new(spec, org), objective)
+}
+
+/// Scans `candidates` in order and returns the characterization
+/// minimizing `objective`, pruning candidates whose lower bound already
+/// exceeds the best score seen.
+///
+/// The prune never changes the argmin: a candidate is skipped only when
+/// its (sound) lower bound is *strictly* above the incumbent score, and
+/// the incumbent is replaced only on a *strictly* lower score — exactly
+/// the first-of-equal-minima semantics of `Iterator::min_by` over the
+/// same order, so ties still resolve to the earliest candidate. With
+/// the exact bound only the running minima of the scan (typically 2–4
+/// of the 25 candidates) pay a full characterization; every other
+/// candidate stops after the objective's own component terms.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty (capacity smaller than the smallest
+/// subarray) or an objective score is NaN (the models never produce
+/// one for a valid spec).
+pub(crate) fn search(
+    spec: &ArraySpec,
+    candidates: &[(Organization, Geometry)],
+    objective: Objective,
+) -> ArrayCharacterization {
+    let devices = DeviceCtx::new(spec);
+    let mut best: Option<(f64, ArrayCharacterization)> = None;
+    for &(org, geom) in candidates {
+        let ctx = Ctx::with_parts(spec, org, geom, &devices);
+        if let Some((incumbent, _)) = &best {
+            if lower_bound(&ctx, objective) > *incumbent {
+                continue;
+            }
+        }
+        let array = ArrayCharacterization::from_ctx(&ctx);
+        let score = objective.score(&array);
+        assert!(!score.is_nan(), "objective scores are finite");
+        if best.as_ref().is_none_or(|(incumbent, _)| score < *incumbent) {
+            best = Some((score, array));
+        }
+    }
+    best.expect("no feasible organization for the given capacity")
+        .1
+}
+
 /// Searches every candidate organization and returns the characterization
 /// minimizing `objective`.
 ///
-/// Organizations whose subarray would exceed the total capacity (more
-/// subarray bits than the array stores) are skipped; at least one
-/// candidate always remains for the capacities in this study.
-///
-/// The candidate evaluations fan out over the shared worker pool
-/// (`coldtall-par`), so a single top-level characterization scales
-/// with core count; when the caller is itself a pool worker (an outer
-/// sweep is already parallel) the search runs inline. The reduction
-/// always runs over results in candidate order, so the chosen
-/// organization does not depend on scheduling.
+/// Runs the two-phase kernel inline: feasible candidates and their
+/// geometries are derived once, then the pruned sequential scan
+/// evaluates them. Sweeps that revisit one geometry at many
+/// temperatures should hold a [`crate::OrgGeometry`] instead, which
+/// caches phase 1.
 ///
 /// # Panics
 ///
@@ -72,25 +206,7 @@ impl fmt::Display for Objective {
 /// than the smallest subarray).
 #[must_use]
 pub fn optimize(spec: &ArraySpec, objective: Objective) -> ArrayCharacterization {
-    let total_bits = spec.capacity().bits_f64() * spec.storage_overhead();
-    let feasible: Vec<Organization> = Organization::candidates()
-        .filter(|org| {
-            // A subarray must not dwarf the per-die share of the array.
-            let per_die = total_bits / f64::from(spec.dies());
-            org.bits_per_subarray() as f64 <= per_die
-        })
-        .collect();
-    coldtall_par::parallel_map_slice(&feasible, |&org| {
-        ArrayCharacterization::evaluate(spec, org)
-    })
-    .into_iter()
-    .min_by(|a, b| {
-        objective
-            .score(a)
-            .partial_cmp(&objective.score(b))
-            .expect("objective scores are finite")
-    })
-    .expect("no feasible organization for the given capacity")
+    search(spec, &feasible_candidates(spec), objective)
 }
 
 #[cfg(test)]

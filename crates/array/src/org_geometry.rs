@@ -1,0 +1,200 @@
+//! Phase 1 of the two-phase characterization kernel: the
+//! temperature-invariant organization geometry.
+//!
+//! Array geometry — the feasible subarray partitionings, wordline and
+//! bitline lengths, H-tree extent, TSV counts — depends on the cell,
+//! the node, the capacity, and the stacking style, but *never* on the
+//! operating point; only device parameters (Matula wire resistivity,
+//! subthreshold leakage, mobility) move with temperature. A dense
+//! temperature sweep therefore re-derives the same geometries at every
+//! point for nothing. [`OrgGeometry::solve`] hoists that derivation out
+//! once, and [`OrgGeometry::apply_temperature`] runs only the cheap
+//! temperature-dependent pass per point — the same amortization
+//! NVSim/Destiny use to make full design-space enumeration tractable.
+//!
+//! The split is exact, not approximate: `apply_temperature` produces
+//! the bytes of [`crate::optimize`] on the equivalent spec (the golden
+//! suite and the cross-crate batch tests pin this).
+
+use coldtall_units::Kelvin;
+
+use crate::characterize::ArrayCharacterization;
+use crate::components::Geometry;
+use crate::optimizer::{self, Objective};
+use crate::organization::Organization;
+use crate::spec::ArraySpec;
+
+/// The solved, temperature-invariant geometry of one array
+/// specification: every feasible candidate organization paired with its
+/// derived physical geometry, plus the base spec they were derived
+/// from.
+///
+/// Solve once per (cell technology, spec geometry, organization
+/// space); then characterize at any number of operating temperatures
+/// via [`OrgGeometry::apply_temperature`].
+///
+/// # Examples
+///
+/// ```
+/// use coldtall_array::{ArraySpec, Objective, OrgGeometry};
+/// use coldtall_cell::CellModel;
+/// use coldtall_tech::ProcessNode;
+/// use coldtall_units::Kelvin;
+///
+/// let node = ProcessNode::ptm_22nm_hp();
+/// let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
+/// let geometry = OrgGeometry::solve(&spec);
+/// let cold = geometry.apply_temperature(Kelvin::LN2, Objective::EnergyDelayProduct);
+/// let direct = spec
+///     .clone()
+///     .at_temperature_cryo(Kelvin::LN2)
+///     .characterize(Objective::EnergyDelayProduct);
+/// assert_eq!(cold, direct);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrgGeometry {
+    spec: ArraySpec,
+    candidates: Vec<(Organization, Geometry)>,
+}
+
+impl OrgGeometry {
+    /// Derives the feasible candidate organizations of `spec` and their
+    /// geometries (phase 1).
+    ///
+    /// The stored spec keeps `spec`'s operating point, but nothing in
+    /// the solved geometry depends on it: two specs differing only in
+    /// operating point solve to bit-identical candidate lists, which is
+    /// what makes one `OrgGeometry` shareable across a temperature
+    /// sweep.
+    #[must_use]
+    pub fn solve(spec: &ArraySpec) -> Self {
+        Self {
+            spec: spec.clone(),
+            candidates: optimizer::feasible_candidates(spec),
+        }
+    }
+
+    /// The specification the geometry was solved for.
+    #[must_use]
+    pub fn spec(&self) -> &ArraySpec {
+        &self.spec
+    }
+
+    /// The feasible `(organization, geometry)` candidates, in canonical
+    /// candidate order.
+    #[must_use]
+    pub fn candidates(&self) -> &[(Organization, Geometry)] {
+        &self.candidates
+    }
+
+    /// Number of feasible candidates.
+    #[must_use]
+    pub fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Runs the organization search at the stored spec's own operating
+    /// point (phase 2 without a temperature change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec admits no feasible organization.
+    #[must_use]
+    pub fn characterize(&self, objective: Objective) -> ArrayCharacterization {
+        optimizer::search(&self.spec, &self.candidates, objective)
+    }
+
+    /// Phase 2: re-evaluates only the temperature-dependent terms at
+    /// operating temperature `t` under the cryogenic voltage-scaling
+    /// policy ([`ArraySpec::at_temperature_cryo`], the policy every
+    /// sweep in the study applies) and returns the optimal
+    /// characterization.
+    ///
+    /// Bit-identical to characterizing
+    /// `spec.at_temperature_cryo(t)` from scratch, because the
+    /// candidate list and geometries are operating-point-invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec admits no feasible organization.
+    #[must_use]
+    pub fn apply_temperature(&self, t: Kelvin, objective: Objective) -> ArrayCharacterization {
+        let spec = self.spec.clone().at_temperature_cryo(t);
+        optimizer::search(&spec, &self.candidates, objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_cell::{CellModel, MemoryTechnology, Tentpole};
+    use coldtall_tech::ProcessNode;
+
+    fn sram_spec() -> ArraySpec {
+        let node = ProcessNode::ptm_22nm_hp();
+        ArraySpec::llc_16mib(CellModel::sram(&node), &node)
+    }
+
+    #[test]
+    fn solve_is_operating_point_invariant() {
+        let base = sram_spec();
+        let cold = OrgGeometry::solve(&base.clone().at_temperature_cryo(Kelvin::LN2));
+        let warm = OrgGeometry::solve(&base);
+        assert_eq!(warm.candidate_count(), cold.candidate_count());
+        for (a, b) in warm.candidates().iter().zip(cold.candidates()) {
+            assert_eq!(a, b, "geometry must not depend on the operating point");
+        }
+    }
+
+    #[test]
+    fn characterize_matches_optimize_bit_for_bit() {
+        for objective in [
+            Objective::EnergyDelayProduct,
+            Objective::ReadLatency,
+            Objective::Area,
+        ] {
+            let spec = sram_spec();
+            assert_eq!(
+                OrgGeometry::solve(&spec).characterize(objective),
+                crate::optimize(&spec, objective),
+            );
+        }
+    }
+
+    #[test]
+    fn apply_temperature_matches_the_from_scratch_path() {
+        let node = ProcessNode::ptm_22nm_hp();
+        for cell in [
+            CellModel::sram(&node),
+            CellModel::tentpole(MemoryTechnology::Edram3T, Tentpole::Optimistic, &node),
+        ] {
+            let spec = ArraySpec::llc_16mib(cell, &node);
+            let geometry = OrgGeometry::solve(&spec);
+            for t in [77.0, 177.0, 300.0, 387.0] {
+                let t = Kelvin::new(t);
+                assert_eq!(
+                    geometry.apply_temperature(t, Objective::EnergyDelayProduct),
+                    spec.clone()
+                        .at_temperature_cryo(t)
+                        .characterize(Objective::EnergyDelayProduct),
+                    "two-phase result diverged at {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_stacked_specs_prune_infeasible_subarrays() {
+        use coldtall_units::Capacity;
+        let solo = OrgGeometry::solve(&sram_spec());
+        // A 1 MiB share per die cannot host the largest subarray
+        // candidates, so the feasibility filter must bite.
+        let small = OrgGeometry::solve(
+            &sram_spec()
+                .with_capacity(Capacity::from_mebibytes(1))
+                .with_dies(8),
+        );
+        assert!(small.candidate_count() < solo.candidate_count());
+        assert!(small.candidate_count() > 0);
+    }
+}

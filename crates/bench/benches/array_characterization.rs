@@ -45,8 +45,8 @@ fn main() {
     let spec = ArraySpec::llc_16mib(CellModel::sram(&node), &node);
     samples.push(time("characterize_cryo_sweep", ITERS, || {
         coldtall_cryo::study_temperatures()
-            .into_iter()
-            .map(|t| coldtall_cryo::characterize_at(&spec, t, Objective::EnergyDelayProduct))
+            .iter()
+            .map(|&t| coldtall_cryo::characterize_at(&spec, t, Objective::EnergyDelayProduct))
             .collect::<Vec<_>>()
     }));
     samples.push(time("characterize_77k_single", ITERS, || {

@@ -1,4 +1,5 @@
-//! Timing harness: sequential versus parallel design-space sweeps.
+//! Timing harness: sequential versus parallel design-space sweeps,
+//! and per-point versus geometry-batched characterization.
 //!
 //! Two workloads, each swept twice — pinned to one thread at every
 //! level, then on the full worker pool — with the results verified
@@ -11,8 +12,17 @@
 //!   distinct characterizations by ~8x so the pool has enough work to
 //!   amortize thread startup.
 //!
-//! Prints the wall-clock comparison and writes `BENCH_sweep.json` so
-//! future PRs have a perf trajectory.
+//! A third section (`batch`) isolates the two-phase characterization
+//! kernel: the `study_x_temps` plan executed once with every
+//! characterization dispatched individually
+//! ([`Explorer::execute_per_point`]) and once geometry-batched
+//! ([`Explorer::execute`]), both pinned to one thread so the
+//! comparison measures the kernel, not the pool.
+//!
+//! Every number is a median over `--iters` individually timed
+//! iterations after one untimed warmup, reported per row in
+//! nanoseconds. Prints the comparison and writes `BENCH_sweep.json`
+//! so future PRs have a perf trajectory.
 //!
 //! Usage: `bench_sweep [--iters N] [--out PATH]`
 
@@ -20,9 +30,7 @@
 // redirection stays clean.
 #![allow(clippy::print_stderr)]
 
-use std::time::Instant;
-
-use coldtall_bench::timing::JsonObject;
+use coldtall_bench::timing::{time_median_pair, JsonObject};
 use coldtall_core::{pool, Explorer, LlcEvaluation, MemoryConfig};
 use coldtall_workloads::spec2017;
 
@@ -33,63 +41,139 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// Times cold sweeps: fresh explorer (empty cache) each iteration, so
-/// every run includes the expensive characterization phase.
-fn timed_sweep(
-    iters: u32,
+/// One cold sweep: fresh explorer (empty cache), so every run includes
+/// the expensive characterization phase.
+fn cold_sweep(
     configs: &[MemoryConfig],
     sweep: impl Fn(&Explorer, &[MemoryConfig]) -> Vec<LlcEvaluation>,
-) -> (f64, Vec<LlcEvaluation>) {
-    // Warmup iteration (first touch of lazily initialized statics).
-    let mut rows = sweep(&Explorer::with_defaults(), configs);
-    let start = Instant::now();
-    for _ in 0..iters {
-        rows = sweep(&Explorer::with_defaults(), configs);
-    }
-    (start.elapsed().as_secs_f64() / f64::from(iters), rows)
+) -> Vec<LlcEvaluation> {
+    sweep(&Explorer::with_defaults(), configs)
 }
 
-/// One sequential-vs-parallel comparison over `configs`.
+/// One sequential-vs-parallel comparison over `configs`, iterations
+/// interleaved (each round pins the pool to one thread for the
+/// sequential run, then restores auto-detection for the parallel one).
 fn compare(label: &str, iters: u32, configs: &[MemoryConfig], json: &mut JsonObject) -> bool {
-    // Sequential reference: one thread at every level (outer sweep and
-    // inner organization search alike).
     pool::set_max_threads(1);
-    let (seq_secs, seq_rows) = timed_sweep(iters, configs, Explorer::sweep_configs_seq);
-
-    // Parallel: restore auto-detection.
+    let seq_rows = cold_sweep(configs, Explorer::sweep_configs_seq);
     pool::set_max_threads(0);
     let threads = pool::max_threads();
-    let (par_secs, par_rows) = timed_sweep(iters, configs, Explorer::par_sweep_configs);
+    let par_rows = cold_sweep(configs, Explorer::par_sweep_configs);
+
+    let (seq, par) = time_median_pair(
+        ("sequential", "parallel"),
+        iters,
+        || {
+            // Sequential reference: one thread at every level (outer
+            // sweep and inner organization search alike).
+            pool::set_max_threads(1);
+            let rows = cold_sweep(configs, Explorer::sweep_configs_seq);
+            pool::set_max_threads(0);
+            rows
+        },
+        || cold_sweep(configs, Explorer::par_sweep_configs),
+    );
 
     let identical = seq_rows == par_rows;
-    let speedup = seq_secs / par_secs;
+    let rows = seq_rows.len();
+    let speedup = seq.median_secs() / par.median_secs();
 
     println!(
-        "# {label}: {} configs x {} benchmarks = {} rows",
+        "# {label}: {} configs x {} benchmarks = {rows} rows ({iters} iters, median)",
         configs.len(),
         spec2017().len(),
-        seq_rows.len()
     );
-    println!("  sequential (1 thread)  {:>10.3} ms", seq_secs * 1e3);
     println!(
-        "  parallel ({threads} threads)   {:>10.3} ms",
-        par_secs * 1e3
+        "  sequential (1 thread)  {:>10.3} ms  {:>9.0} ns/row",
+        seq.median_secs() * 1e3,
+        seq.median_ns_per(rows)
+    );
+    println!(
+        "  parallel ({threads} threads)   {:>10.3} ms  {:>9.0} ns/row",
+        par.median_secs() * 1e3,
+        par.median_ns_per(rows)
     );
     println!("  speedup                {speedup:>10.2}x");
     println!("  identical results      {identical:>10}");
 
-    json.number(&format!("{label}_rows"), seq_rows.len() as f64)
-        .number(&format!("{label}_sequential_secs"), seq_secs)
-        .number(&format!("{label}_parallel_secs"), par_secs)
+    #[allow(clippy::cast_precision_loss)]
+    json.number(&format!("{label}_rows"), rows as f64)
+        .number(&format!("{label}_sequential_secs"), seq.median_secs())
+        .number(&format!("{label}_parallel_secs"), par.median_secs())
+        .number(
+            &format!("{label}_sequential_ns_per_row"),
+            seq.median_ns_per(rows),
+        )
+        .number(
+            &format!("{label}_parallel_ns_per_row"),
+            par.median_ns_per(rows),
+        )
         .number(&format!("{label}_speedup"), speedup)
         .boolean(&format!("{label}_identical"), identical);
+    identical
+}
+
+/// Per-point versus geometry-batched execution of one plan, pinned to
+/// a single thread so the two-phase kernel — not the pool — is what
+/// gets measured. Fresh explorer per iteration: both paths pay the
+/// full characterization phase every time. The plan carries a single
+/// benchmark — the evaluation grid is identical between the paths, so
+/// a full grid would only dilute the kernel difference under noise.
+fn compare_batch(iters: u32, configs: &[MemoryConfig], json: &mut JsonObject) -> bool {
+    pool::set_max_threads(1);
+    let namd = coldtall_workloads::benchmark("namd").expect("namd profile exists");
+    let plan = coldtall_core::SweepPlan::new(configs.to_vec())
+        .with_benchmarks(std::slice::from_ref(namd))
+        .compile(&coldtall_core::BackendRegistry::with_defaults())
+        .expect("study configs resolve");
+    let run = |execute: fn(&Explorer, &coldtall_core::ExecutionPlan) -> Vec<LlcEvaluation>| {
+        let explorer = Explorer::with_defaults();
+        execute(&explorer, &plan)
+    };
+    let per_point_rows = run(Explorer::execute_per_point);
+    let batched_rows = run(Explorer::execute);
+    let identical = per_point_rows == batched_rows;
+    let rows = batched_rows.len();
+
+    let (per_point, batched) = time_median_pair(
+        ("per_point", "batched"),
+        iters,
+        || run(Explorer::execute_per_point),
+        || run(Explorer::execute),
+    );
+    pool::set_max_threads(0);
+
+    let speedup = per_point.median_secs() / batched.median_secs();
+    println!("# batch: study_x_temps plan, 1 thread ({iters} iters, median)");
+    println!(
+        "  per-point dispatch     {:>10.3} ms  {:>9.0} ns/row",
+        per_point.median_secs() * 1e3,
+        per_point.median_ns_per(rows)
+    );
+    println!(
+        "  geometry-batched       {:>10.3} ms  {:>9.0} ns/row",
+        batched.median_secs() * 1e3,
+        batched.median_ns_per(rows)
+    );
+    println!("  speedup                {speedup:>10.2}x");
+    println!("  identical results      {identical:>10}");
+
+    let mut section = JsonObject::new();
+    #[allow(clippy::cast_precision_loss)]
+    section
+        .number("rows", rows as f64)
+        .number("per_point_ns_per_row", per_point.median_ns_per(rows))
+        .number("batched_ns_per_row", batched.median_ns_per(rows))
+        .number("speedup", speedup)
+        .boolean("identical", identical);
+    json.raw("batch", &section.render());
     identical
 }
 
 fn main() {
     let iters: u32 = arg_value("--iters")
         .and_then(|v| v.parse().ok())
-        .unwrap_or(10);
+        .unwrap_or(5);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_sweep.json".to_string());
 
     let study = MemoryConfig::study_set();
@@ -100,18 +184,20 @@ fn main() {
         .iter()
         .flat_map(|config| {
             coldtall_cryo::study_temperatures()
-                .into_iter()
-                .map(|t| config.clone().at_temperature(t))
+                .iter()
+                .map(|&t| config.clone().at_temperature(t))
         })
         .collect();
 
     let mut json = JsonObject::new();
+    #[allow(clippy::cast_precision_loss)]
     json.string("bench", "sweep_seq_vs_par")
         .number("iters", f64::from(iters))
         .number("threads_detected", pool::max_threads() as f64);
 
     let ok_study = compare("study", iters, &study, &mut json);
     let ok_expanded = compare("study_x_temps", iters, &expanded, &mut json);
+    let ok_batch = compare_batch(iters, &expanded, &mut json);
 
     // Per-backend characterization tallies as their own flat section:
     // how the study's design points split between the CryoMEM and
@@ -141,5 +227,9 @@ fn main() {
     assert!(
         ok_study && ok_expanded,
         "parallel sweep diverged from the sequential reference"
+    );
+    assert!(
+        ok_batch,
+        "geometry-batched execution diverged from the per-point reference"
     );
 }

@@ -49,7 +49,7 @@ pub fn run() -> TextTable {
     for tech in [MemoryTechnology::Sram, MemoryTechnology::Edram3T] {
         let cases: [(&str, Vec<Kelvin>); 2] = [
             ("77|350", vec![Kelvin::LN2, Kelvin::REFERENCE]),
-            ("tunable", study_temperatures()),
+            ("tunable", study_temperatures().to_vec()),
         ];
         for (label, candidates) in cases {
             let schedule = plan_schedule(&explorer, tech, &phases, &candidates);

@@ -28,7 +28,7 @@ pub fn run() -> TextTable {
         "rel_power_10W",
     ]);
     for tech in [MemoryTechnology::Sram, MemoryTechnology::Edram3T] {
-        for t in study_temperatures() {
+        for &t in study_temperatures() {
             let base = MemoryConfig::volatile_2d(tech, t);
             let no_cooling = explorer
                 .evaluate(&base.clone().with_cooling(CoolingSystem::Server100kW), namd)

@@ -31,7 +31,7 @@ pub fn run() -> TextTable {
     for tech in [MemoryTechnology::Sram, MemoryTechnology::Edram3T] {
         let cell = CellModel::tentpole(tech, coldtall_cell::Tentpole::Optimistic, &node);
         let spec = ArraySpec::llc_16mib(cell, &node);
-        for t in study_temperatures() {
+        for &t in study_temperatures() {
             let a = characterize_at(&spec, t, objective);
             table.row_owned(vec![
                 tech.name().to_string(),

@@ -23,13 +23,15 @@
 use core::fmt;
 use std::sync::Arc;
 
-use coldtall_array::{ArrayCharacterization, ArraySpec, Objective};
+use coldtall_array::{ArrayCharacterization, ArraySpec, Objective, OrgGeometry};
 use coldtall_cell::{CellModel, MemoryTechnology};
 use coldtall_tech::ProcessNode;
 use coldtall_units::Kelvin;
 
 use crate::config::MemoryConfig;
 use crate::error::Error;
+use crate::parcache::GeometryCache;
+use crate::plan::DesignPointKey;
 
 /// Lowest operating temperature either default backend accepts — the
 /// CLI's legal lower bound, below the paper's 77 K sweep floor.
@@ -146,6 +148,64 @@ pub trait CharacterizationBackend: Send + Sync + fmt::Debug {
     ) -> ArrayCharacterization {
         self.lower(config, node).characterize(objective)
     }
+
+    /// Characterizes a batch of design points sharing one
+    /// temperature-stripped geometry key (same technology, tentpole
+    /// where the cell model reads it, and die count — the points
+    /// differ only in operating temperature), returning one result per
+    /// config in order.
+    ///
+    /// The default implementation loops
+    /// [`CharacterizationBackend::characterize`] and never touches the
+    /// geometry cache, so custom backends are correct with no extra
+    /// work. The two default backends override it with the two-phase
+    /// kernel: the organization geometry is solved once per
+    /// `geometry_key` (memoized in `geometries`, counted as
+    /// `geometry.solves`) and the cheap temperature pass fans out per
+    /// point. Overrides must stay **bit-identical** to the per-point
+    /// path — the golden suite and `tests/batch.rs` pin this.
+    fn characterize_batch(
+        &self,
+        geometry_key: &DesignPointKey,
+        configs: &[MemoryConfig],
+        node: &ProcessNode,
+        objective: Objective,
+        geometries: &GeometryCache,
+    ) -> Vec<ArrayCharacterization> {
+        let _ = (geometry_key, geometries);
+        configs
+            .iter()
+            .map(|config| self.characterize(config, node, objective))
+            .collect()
+    }
+}
+
+/// The shared two-phase batch kernel of the default backends: one
+/// geometry solve per key ([`OrgGeometry::solve`] on the batch's
+/// temperature-free base spec, memoized in `geometries`), then the
+/// temperature-only pass per point, fanned over the worker pool (the
+/// fan-out runs inline when the caller is itself a pool worker).
+///
+/// Bit-identity with the per-point path holds because both default
+/// backends lower every config through the same base spec
+/// ([`MemoryConfig::to_base_spec`]) before applying
+/// `at_temperature_cryo` — exactly the decomposition
+/// [`OrgGeometry::apply_temperature`] replays.
+fn two_phase_batch(
+    geometry_key: &DesignPointKey,
+    configs: &[MemoryConfig],
+    node: &ProcessNode,
+    objective: Objective,
+    geometries: &GeometryCache,
+) -> Vec<ArrayCharacterization> {
+    let Some(first) = configs.first() else {
+        return Vec::new();
+    };
+    let geometry =
+        geometries.get_or_solve(geometry_key, || OrgGeometry::solve(&first.to_base_spec(node)));
+    crate::pool::parallel_map_slice(configs, |config| {
+        geometry.apply_temperature(config.temperature(), objective)
+    })
 }
 
 /// The CryoMEM-equivalent backend: single-die volatile memories
@@ -187,6 +247,20 @@ impl CharacterizationBackend for CryoMemBackend {
         let base = ArraySpec::llc_16mib(cell, node);
         coldtall_cryo::characterize_at(&base, config.temperature(), objective)
     }
+
+    fn characterize_batch(
+        &self,
+        geometry_key: &DesignPointKey,
+        configs: &[MemoryConfig],
+        node: &ProcessNode,
+        objective: Objective,
+        geometries: &GeometryCache,
+    ) -> Vec<ArrayCharacterization> {
+        // The temperature sweeps this backend serves are exactly the
+        // workload the two-phase kernel amortizes: one geometry solve,
+        // then rho(T)/leakage/mobility re-evaluation per temperature.
+        two_phase_batch(geometry_key, configs, node, objective, geometries)
+    }
 }
 
 /// The Destiny-equivalent backend: 2D and 3D (multi-die) eNVM arrays
@@ -221,6 +295,17 @@ impl CharacterizationBackend for DestinyBackend {
         // keeping the default registry's partition disjoint.
         self.capabilities().supports(config)
             && (config.technology().is_nonvolatile() || config.dies() > 1)
+    }
+
+    fn characterize_batch(
+        &self,
+        geometry_key: &DesignPointKey,
+        configs: &[MemoryConfig],
+        node: &ProcessNode,
+        objective: Objective,
+        geometries: &GeometryCache,
+    ) -> Vec<ArrayCharacterization> {
+        two_phase_batch(geometry_key, configs, node, objective, geometries)
     }
 }
 
@@ -361,6 +446,54 @@ mod tests {
                 config.label()
             );
         }
+    }
+
+    #[test]
+    fn batched_characterization_is_bit_identical_per_backend() {
+        let node = ProcessNode::ptm_22nm_hp();
+        let objective = Objective::EnergyDelayProduct;
+        let geometries = GeometryCache::unregistered();
+
+        // CryoMEM: one volatile array swept over temperature shares a
+        // single geometry solve.
+        let cryo_configs: Vec<MemoryConfig> = [77.0, 177.0, 350.0]
+            .map(Kelvin::new)
+            .map(|t| MemoryConfig::volatile_2d(MemoryTechnology::Edram3T, t))
+            .to_vec();
+        let key = DesignPointKey::geometry_of(&cryo_configs[0]);
+        let batched =
+            CryoMemBackend.characterize_batch(&key, &cryo_configs, &node, objective, &geometries);
+        assert_eq!(batched.len(), cryo_configs.len());
+        for (config, got) in cryo_configs.iter().zip(&batched) {
+            assert_eq!(
+                got,
+                &CryoMemBackend.characterize(config, &node, objective),
+                "{}",
+                config.label()
+            );
+        }
+        assert_eq!(geometries.solves(), 1);
+
+        // Destiny: a stacked eNVM point at two temperatures.
+        let stacked: Vec<MemoryConfig> = [300.0, 350.0]
+            .map(Kelvin::new)
+            .map(|t| {
+                MemoryConfig::envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, 4)
+                    .at_temperature(t)
+            })
+            .to_vec();
+        let key = DesignPointKey::geometry_of(&stacked[0]);
+        let batched =
+            DestinyBackend.characterize_batch(&key, &stacked, &node, objective, &geometries);
+        for (config, got) in stacked.iter().zip(&batched) {
+            assert_eq!(
+                got,
+                &DestinyBackend.characterize(config, &node, objective),
+                "{}",
+                config.label()
+            );
+        }
+        assert_eq!(geometries.solves(), 2, "one more solve for the new key");
     }
 
     #[test]

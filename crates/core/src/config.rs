@@ -227,12 +227,25 @@ impl MemoryConfig {
     /// spec.
     #[must_use]
     pub fn to_spec(&self, node: &ProcessNode) -> ArraySpec {
+        self.to_base_spec(node).at_temperature_cryo(self.temperature)
+    }
+
+    /// The temperature-free half of [`MemoryConfig::to_spec`]: cell,
+    /// 16 MiB LLC geometry, and stacking, at the spec's nominal
+    /// operating point.
+    ///
+    /// The batched characterization path solves the organization
+    /// geometry on this base spec — two configurations differing only
+    /// in temperature lower to the same base, which is exactly the
+    /// sharing [`crate::DesignPointKey::geometry_of`] keys.
+    #[must_use]
+    pub fn to_base_spec(&self, node: &ProcessNode) -> ArraySpec {
         let cell = CellModel::tentpole(self.technology, self.tentpole, node);
         let mut spec = ArraySpec::llc_16mib(cell, node);
         if self.dies > 1 {
             spec = spec.with_dies(self.dies);
         }
-        spec.at_temperature_cryo(self.temperature)
+        spec
     }
 
     /// The study's full configuration set: cryogenic and room-temperature

@@ -9,13 +9,15 @@ use coldtall_tech::ProcessNode;
 use coldtall_units::{Capacity, Watts};
 use coldtall_workloads::Benchmark;
 
+use std::collections::HashMap;
+
 use crate::backend::BackendRegistry;
 use crate::config::MemoryConfig;
 use crate::error::Error;
 use crate::evaluate::{device_power, LlcEvaluation};
 use crate::lifetime::lifetime_years;
-use crate::parcache::{CacheMetrics, ShardedCache};
-use crate::plan::{DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
+use crate::parcache::{CacheMetrics, GeometryCache, ShardedCache};
+use crate::plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 use crate::pool;
 
 /// The reference benchmark all power results are normalized to, as in
@@ -58,6 +60,9 @@ pub struct Explorer {
     node: ProcessNode,
     objective: Objective,
     cache: ShardedCache<ArrayCharacterization>,
+    /// Temperature-stripped geometry solves shared by the batched
+    /// execution paths (phase 1 of the two-phase kernel).
+    geometries: GeometryCache,
     baseline: ArrayCharacterization,
     reference_power: Watts,
     metrics: ExplorerMetrics,
@@ -94,6 +99,11 @@ impl BackendStats {
 struct ExplorerMetrics {
     /// Probes of the characterization cache (hit or miss alike).
     characterize_calls: Arc<Counter>,
+    /// Backend dispatches that performed real characterization work: a
+    /// single missed point, or one *batch* of missed points on the
+    /// grouped execution paths. Always equals the `characterize` span's
+    /// sample count; at most `cache.misses`.
+    characterize_dispatches: Arc<Counter>,
     /// Benchmark evaluations performed.
     evaluate_calls: Arc<Counter>,
     /// Configurations submitted to sweeps.
@@ -112,6 +122,7 @@ impl ExplorerMetrics {
     fn registered(registry: &Registry) -> Self {
         Self {
             characterize_calls: registry.counter("explorer.characterize.calls"),
+            characterize_dispatches: registry.counter("explorer.characterize.dispatches"),
             evaluate_calls: registry.counter("explorer.evaluate.calls"),
             sweep_configs: registry.counter("sweep.configs"),
             sweep_rows: registry.counter("sweep.rows"),
@@ -199,6 +210,7 @@ impl Explorer {
             node,
             objective,
             cache: ShardedCache::with_metrics(CacheMetrics::registered(registry, "cache")),
+            geometries: GeometryCache::registered(registry),
             baseline,
             reference_power,
             metrics: ExplorerMetrics::registered(registry),
@@ -243,6 +255,12 @@ impl Explorer {
     #[must_use]
     pub fn cache_metrics(&self) -> &CacheMetrics {
         self.cache.metrics()
+    }
+
+    /// The geometry cache feeding the batched execution paths.
+    #[must_use]
+    pub fn geometry_cache(&self) -> &GeometryCache {
+        &self.geometries
     }
 
     /// The backend registry characterizations dispatch through.
@@ -299,7 +317,9 @@ impl Explorer {
         self.metrics.characterize_calls.inc();
         self.cache.get_or_insert_with(key, || {
             // The span times only real characterization work, so its
-            // sample count equals the cache's miss count.
+            // sample count equals the dispatch count (one single-point
+            // dispatch here; the batched paths count one per batch).
+            self.metrics.characterize_dispatches.inc();
             let _span = Span::enter(self.metrics.characterize_span.clone());
             self.dispatch(config)
         })
@@ -516,20 +536,142 @@ impl Explorer {
         self.execute_par(&plan)
     }
 
+    /// Groups a plan's job list by (temperature-stripped geometry key,
+    /// resolved backend), keys and groups in first-appearance order.
+    ///
+    /// Grouping is pure plan arithmetic — deterministic under any
+    /// thread count — which is what keeps every batched-path counter
+    /// inside the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job names a backend this explorer's registry does
+    /// not hold (the plan was compiled against a different registry).
+    fn geometry_groups<'a>(&self, plan: &'a ExecutionPlan) -> Vec<JobGroup<'a>> {
+        let mut groups: Vec<JobGroup<'a>> = Vec::new();
+        let mut index: HashMap<(DesignPointKey, usize), usize> = HashMap::new();
+        for job in plan.jobs() {
+            let geometry_key = DesignPointKey::geometry_of(job.config());
+            let backend_index = self
+                .backends
+                .backends()
+                .iter()
+                .position(|b| b.name() == job.backend())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "plan job resolved to backend '{}', which this explorer does not hold",
+                        job.backend()
+                    )
+                });
+            match index.entry((geometry_key.clone(), backend_index)) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    groups[*slot.get()].jobs.push(job);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(groups.len());
+                    groups.push(JobGroup {
+                        geometry_key,
+                        backend_index,
+                        jobs: vec![job],
+                    });
+                }
+            }
+        }
+        groups
+    }
+
+    /// Runs one geometry group of a plan's job phase: probes every
+    /// job's cache entry (each probe counting its one hit or miss),
+    /// dispatches the misses as a single batch through the group's
+    /// backend ([`crate::CharacterizationBackend::characterize_batch`]
+    /// — one geometry solve for the whole group), and publishes the
+    /// results.
+    ///
+    /// Counter accounting matches the per-point path probe for probe;
+    /// only the dispatch granularity differs (one `characterize` span
+    /// sample and one `explorer.characterize.dispatches` per batch
+    /// with work, instead of one per missed point).
+    fn characterize_group(&self, group: &JobGroup<'_>) {
+        let missing: Vec<&CharacterizationJob> = group
+            .jobs
+            .iter()
+            .copied()
+            .filter(|job| {
+                self.metrics.characterize_calls.inc();
+                self.cache.get(job.key()).is_none()
+            })
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let configs: Vec<MemoryConfig> = missing.iter().map(|job| job.config().clone()).collect();
+        let stats = &self.backend_stats[group.backend_index];
+        stats.characterizations.add(missing.len() as u64);
+        self.metrics.characterize_dispatches.inc();
+        let results = {
+            let _span = Span::enter(self.metrics.characterize_span.clone());
+            let _backend_span = Span::enter(stats.span.clone());
+            self.backends.backends()[group.backend_index].characterize_batch(
+                &group.geometry_key,
+                &configs,
+                &self.node,
+                self.objective,
+                &self.geometries,
+            )
+        };
+        assert_eq!(
+            results.len(),
+            missing.len(),
+            "backend '{}' returned {} results for a batch of {}",
+            self.backends.backends()[group.backend_index].name(),
+            results.len(),
+            missing.len()
+        );
+        for (job, result) in missing.iter().zip(results) {
+            let _ = self.cache.insert(job.key(), result);
+        }
+    }
+
     /// Runs a compiled plan sequentially: plain loops, no pool.
     ///
-    /// The job list is executed first (one characterization per
-    /// distinct key — mirroring the parallel warm-up phase, so the
-    /// cache's hit/miss/insert counters come out identical on both
-    /// paths), then the (configuration x benchmark) grid is evaluated
-    /// in row-major order.
+    /// The job list runs first, grouped by geometry key so each
+    /// distinct geometry is solved once ([`Explorer::execute_par`]
+    /// groups identically — the cache and geometry counters come out
+    /// the same on both paths), then the (configuration x benchmark)
+    /// grid is evaluated in row-major order.
     #[must_use]
     pub fn execute(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
+        let _span = Span::enter(self.metrics.sweep_span.clone());
+        self.metrics.sweep_configs.add(plan.configs().len() as u64);
+        for group in self.geometry_groups(plan) {
+            self.characterize_group(&group);
+        }
+        self.evaluate_grid(plan)
+    }
+
+    /// Runs a compiled plan with every characterization dispatched
+    /// individually — no geometry grouping, no batch lowering.
+    ///
+    /// This is the reference the batched paths are measured against:
+    /// `tests/batch.rs` pins bit-identity of the produced rows, and
+    /// the bench harness's `batch` section reports both per-row
+    /// timings. Counters differ from [`Explorer::execute`] only in
+    /// dispatch granularity (`explorer.characterize.dispatches`, the
+    /// `characterize` span count, and `geometry.*`, which this path
+    /// never touches).
+    #[must_use]
+    pub fn execute_per_point(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
         let _span = Span::enter(self.metrics.sweep_span.clone());
         self.metrics.sweep_configs.add(plan.configs().len() as u64);
         for job in plan.jobs() {
             let _ = self.characterize_keyed(job.key(), job.config());
         }
+        self.evaluate_grid(plan)
+    }
+
+    /// The row-major evaluation phase shared by every execution path;
+    /// all characterizations are cache hits by the time it runs.
+    fn evaluate_grid(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
         let rows: Vec<LlcEvaluation> = plan
             .configs()
             .iter()
@@ -545,20 +687,19 @@ impl Explorer {
 
     /// Runs a compiled plan on the scoped worker pool.
     ///
-    /// Two phases: the plan's deduplicated characterization jobs fan
-    /// out first (the expensive organization searches, one pool item
-    /// per distinct key), then the flat pair grid fans out with work
-    /// stealing. Output order is row-major — identical to
-    /// [`Explorer::execute`] — and values are bit-identical because
-    /// evaluation is pure floating-point arithmetic over the shared
-    /// cache.
+    /// Two phases: the geometry-keyed job groups fan out first (each
+    /// group solves its geometry once and sweeps its temperatures —
+    /// the expensive organization searches), then the flat pair grid
+    /// fans out with work stealing. Output order is row-major —
+    /// identical to [`Explorer::execute`] — and values are
+    /// bit-identical because evaluation is pure floating-point
+    /// arithmetic over the shared cache.
     #[must_use]
     pub fn execute_par(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
         let _span = Span::enter(self.metrics.sweep_span.clone());
         self.metrics.sweep_configs.add(plan.configs().len() as u64);
-        let _ = pool::parallel_map_slice(plan.jobs(), |job| {
-            self.characterize_keyed(job.key(), job.config())
-        });
+        let groups = self.geometry_groups(plan);
+        let _ = pool::parallel_map_slice(&groups, |group| self.characterize_group(group));
         let configs = plan.configs();
         let benchmarks = plan.benchmarks();
         let rows = pool::parallel_map(plan.rows(), |index| {
@@ -568,6 +709,15 @@ impl Explorer {
         self.metrics.sweep_rows.add(rows.len() as u64);
         rows
     }
+}
+
+/// One geometry-keyed batch of a plan's job phase: every job of the
+/// plan that shares this temperature-stripped geometry key and
+/// backend, in first-appearance order.
+struct JobGroup<'a> {
+    geometry_key: DesignPointKey,
+    backend_index: usize,
+    jobs: Vec<&'a CharacterizationJob>,
 }
 
 impl Default for Explorer {

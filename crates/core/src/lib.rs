@@ -66,7 +66,7 @@ pub use evaluate::{Feasibility, LlcEvaluation};
 pub use explorer::Explorer;
 pub use plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 pub use hybrid::HybridLlc;
-pub use parcache::{CacheMetrics, ShardedCache};
+pub use parcache::{CacheMetrics, GeometryCache, ShardedCache};
 pub use pareto::{pareto_front, recommend, Constraints};
 pub use thermal_schedule::{phase_evaluation, plan_schedule, TemperatureSchedule, WorkloadPhase};
 pub use variation::{monte_carlo, sample_cells, MetricBand, VariationSummary};

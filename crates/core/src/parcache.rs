@@ -32,11 +32,23 @@
 //! counters that no exporter ever reads.
 
 use std::collections::HashMap;
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
+use coldtall_array::OrgGeometry;
 use coldtall_obs::{Counter, Registry};
 
 use crate::plan::DesignPointKey;
+
+/// Whether `COLDTALL_METRICS_DETAIL=1` opted the process into
+/// exporting per-stripe cache counters. Read once; the first cache
+/// construction pins the verdict for the process lifetime, matching
+/// how `COLDTALL_THREADS` is handled.
+fn detail_enabled() -> bool {
+    static DETAIL: OnceLock<bool> = OnceLock::new();
+    *DETAIL.get_or_init(|| {
+        std::env::var("COLDTALL_METRICS_DETAIL").is_ok_and(|v| v == "1")
+    })
+}
 
 /// Number of lock stripes. A small power of two keeps the modulo cheap
 /// while comfortably exceeding any realistic worker count's collision
@@ -70,20 +82,51 @@ pub struct CacheMetrics {
 }
 
 impl CacheMetrics {
-    /// Counters registered under `prefix` (e.g. `cache.hits`,
-    /// `cache.stripe07.misses`) in `registry`. Two caches sharing a
-    /// registry and prefix share counters, prometheus-style.
+    /// Counters registered under `prefix` (e.g. `cache.hits`) in
+    /// `registry`. Two caches sharing a registry and prefix share
+    /// counters, prometheus-style.
+    ///
+    /// Per-stripe counters (`cache.stripe07.misses`, 48 names per
+    /// cache) are export noise for most consumers, so they are
+    /// registered only when `COLDTALL_METRICS_DETAIL=1` is set in the
+    /// environment; otherwise they count into free-floating counters
+    /// still readable through [`CacheMetrics::stripe`]. Use
+    /// [`CacheMetrics::registered_detailed`] to force the full export
+    /// regardless of the environment.
     #[must_use]
     pub fn registered(registry: &Registry, prefix: &str) -> Self {
+        Self::registered_with_detail(registry, prefix, detail_enabled())
+    }
+
+    /// [`CacheMetrics::registered`] with the per-stripe counters
+    /// unconditionally exported, independent of
+    /// `COLDTALL_METRICS_DETAIL`.
+    #[must_use]
+    pub fn registered_detailed(registry: &Registry, prefix: &str) -> Self {
+        Self::registered_with_detail(registry, prefix, true)
+    }
+
+    fn registered_with_detail(registry: &Registry, prefix: &str, detail: bool) -> Self {
         Self {
             hits: registry.counter(&format!("{prefix}.hits")),
             misses: registry.counter(&format!("{prefix}.misses")),
             inserts: registry.counter(&format!("{prefix}.inserts")),
             stripes: (0..SHARDS)
-                .map(|i| StripeMetrics {
-                    hits: registry.counter(&format!("{prefix}.stripe{i:02}.hits")),
-                    misses: registry.counter(&format!("{prefix}.stripe{i:02}.misses")),
-                    inserts: registry.counter(&format!("{prefix}.stripe{i:02}.inserts")),
+                .map(|i| {
+                    if detail {
+                        StripeMetrics {
+                            hits: registry.counter(&format!("{prefix}.stripe{i:02}.hits")),
+                            misses: registry.counter(&format!("{prefix}.stripe{i:02}.misses")),
+                            inserts: registry
+                                .counter(&format!("{prefix}.stripe{i:02}.inserts")),
+                        }
+                    } else {
+                        StripeMetrics {
+                            hits: Arc::new(Counter::new()),
+                            misses: Arc::new(Counter::new()),
+                            inserts: Arc::new(Counter::new()),
+                        }
+                    }
                 })
                 .collect(),
         }
@@ -238,6 +281,29 @@ impl<V: Clone> ShardedCache<V> {
         }
     }
 
+    /// Publishes `key → value` without counting a probe.
+    ///
+    /// The batched characterization path probes every job up front
+    /// (each probe counting its one hit or miss), dispatches the
+    /// misses as a batch, and publishes the results through this
+    /// method — a `get_or_insert_with` here would double-count the
+    /// miss. Counts one insert only if the publication lands; on a
+    /// race the first published value wins and is returned.
+    pub fn insert(&self, key: &DesignPointKey, value: V) -> V {
+        let stripe = Self::shard_index(key);
+        match self.shards[stripe]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(key.clone())
+        {
+            std::collections::hash_map::Entry::Occupied(existing) => existing.get().clone(),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                self.metrics.insert(stripe);
+                slot.insert(value).clone()
+            }
+        }
+    }
+
     /// Total entries across all shards.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -263,6 +329,83 @@ impl<V: Clone> ShardedCache<V> {
 impl<V: Clone> Default for ShardedCache<V> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Cache of temperature-invariant organization-geometry solves — phase
+/// 1 of the two-phase characterization kernel — keyed by
+/// [`DesignPointKey::geometry_of`]-style temperature-stripped keys.
+///
+/// A `geometry.solves` counter records every solve that actually ran
+/// (the batched path's acceptance invariant: at most one solve per
+/// distinct geometry key per sweep), alongside the shared
+/// hit/miss/insert telemetry under the `geometry.*` prefix.
+#[derive(Debug)]
+pub struct GeometryCache {
+    cache: ShardedCache<Arc<OrgGeometry>>,
+    solves: Arc<Counter>,
+}
+
+impl GeometryCache {
+    /// An empty cache reporting under the `geometry.*` prefix of
+    /// `registry`.
+    #[must_use]
+    pub fn registered(registry: &Registry) -> Self {
+        Self {
+            cache: ShardedCache::with_metrics(CacheMetrics::registered(registry, "geometry")),
+            solves: registry.counter("geometry.solves"),
+        }
+    }
+
+    /// An empty cache counting into free-floating counters no exporter
+    /// reads.
+    #[must_use]
+    pub fn unregistered() -> Self {
+        Self {
+            cache: ShardedCache::new(),
+            solves: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Returns the cached geometry for `key`, solving and publishing
+    /// it if absent. `solve` runs without any lock held and counts one
+    /// `geometry.solves`; racers on the same missing key converge on
+    /// the first published solve (the batched execution paths group
+    /// jobs so each distinct key is claimed by one worker, keeping the
+    /// counter deterministic).
+    pub fn get_or_solve(
+        &self,
+        key: &DesignPointKey,
+        solve: impl FnOnce() -> OrgGeometry,
+    ) -> Arc<OrgGeometry> {
+        self.cache.get_or_insert_with(key, || {
+            self.solves.inc();
+            Arc::new(solve())
+        })
+    }
+
+    /// Number of geometry solves that actually ran.
+    #[must_use]
+    pub fn solves(&self) -> u64 {
+        self.solves.get()
+    }
+
+    /// Distinct geometries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache holds no geometries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The cache's probe telemetry.
+    #[must_use]
+    pub fn metrics(&self) -> &CacheMetrics {
+        self.cache.metrics()
     }
 }
 
@@ -326,10 +469,67 @@ mod tests {
     }
 
     #[test]
+    fn publish_only_insert_counts_no_probe() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        assert_eq!(cache.insert(&key("a"), 1), 1); // insert, no hit/miss
+        assert_eq!(cache.insert(&key("a"), 2), 1); // first publication wins
+        assert_eq!(cache.get(&key("a")), Some(1)); // hit
+        let m = cache.metrics();
+        assert_eq!((m.hits(), m.misses(), m.inserts()), (1, 0, 1));
+    }
+
+    #[test]
+    fn stripe_counters_stay_unexported_without_the_detail_flag() {
+        // `registered_with_detail(.., false)` is the default-path
+        // behaviour when COLDTALL_METRICS_DETAIL is unset; exercised
+        // directly so the test does not depend on the environment.
+        let registry = coldtall_obs::Registry::new();
+        let cache: ShardedCache<u32> = ShardedCache::with_metrics(
+            CacheMetrics::registered_with_detail(&registry, "cache", false),
+        );
+        let _ = cache.get_or_insert_with(&key("a"), || 1);
+        let _ = cache.get_or_insert_with(&key("a"), || 1);
+        assert_eq!(registry.counter_value("cache.hits"), Some(1));
+        assert!(
+            !registry
+                .counters()
+                .iter()
+                .any(|(name, _)| name.contains(".stripe")),
+            "per-stripe counters must not be exported by default"
+        );
+        // The stripes still count internally for CacheMetrics::stripe.
+        let striped: u64 = (0..cache.shard_count())
+            .map(|s| cache.metrics().stripe(s).0)
+            .sum();
+        assert_eq!(striped, 1);
+    }
+
+    #[test]
+    fn geometry_cache_counts_each_solve_once() {
+        let registry = coldtall_obs::Registry::new();
+        let geometries = GeometryCache::registered(&registry);
+        let node = coldtall_tech::ProcessNode::ptm_22nm_hp();
+        let config = crate::MemoryConfig::sram_77k();
+        let geometry_key = DesignPointKey::geometry_of(&config);
+        for _ in 0..3 {
+            let solved = geometries.get_or_solve(&geometry_key, || {
+                OrgGeometry::solve(&config.to_base_spec(&node))
+            });
+            assert!(solved.candidate_count() > 0);
+        }
+        assert_eq!(geometries.solves(), 1, "one solve, then cache hits");
+        assert_eq!(geometries.len(), 1);
+        assert_eq!(registry.counter_value("geometry.solves"), Some(1));
+        assert_eq!(registry.counter_value("geometry.inserts"), Some(1));
+        assert_eq!(registry.counter_value("geometry.misses"), Some(1));
+        assert_eq!(registry.counter_value("geometry.hits"), Some(2));
+    }
+
+    #[test]
     fn stripe_counters_sum_to_the_aggregates() {
         let registry = coldtall_obs::Registry::new();
         let cache: ShardedCache<usize> =
-            ShardedCache::with_metrics(CacheMetrics::registered(&registry, "cache"));
+            ShardedCache::with_metrics(CacheMetrics::registered_detailed(&registry, "cache"));
         for i in 0..50 {
             let _ = cache.get_or_insert_with(&key(&format!("key-{i}")), || i); // misses
             let _ = cache.get_or_insert_with(&key(&format!("key-{i}")), || i); // hits

@@ -82,6 +82,38 @@ impl DesignPointKey {
         ))
     }
 
+    /// The temperature-stripped *geometry* key of a configuration: two
+    /// configurations share it exactly when their arrays share one
+    /// temperature-invariant organization-geometry solve — same
+    /// technology, same tentpole where the cell model reads it, same
+    /// die count, any temperature. Keys the geometry cache of the
+    /// batched two-phase characterization path. Namespaced so geometry
+    /// keys can never collide with design-point or synthetic keys.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use coldtall_core::{DesignPointKey, MemoryConfig};
+    ///
+    /// let cold = DesignPointKey::geometry_of(&MemoryConfig::sram_77k());
+    /// let warm = DesignPointKey::geometry_of(&MemoryConfig::sram_350k());
+    /// assert_eq!(cold, warm, "geometry does not depend on temperature");
+    /// ```
+    #[must_use]
+    pub fn geometry_of(config: &MemoryConfig) -> Self {
+        let tentpole = if config.technology().is_nonvolatile() {
+            config.tentpole().to_string()
+        } else {
+            "-".to_string()
+        };
+        Self::from_canonical(format!(
+            "geom|{}|{}|d{}",
+            config.technology().name(),
+            tentpole,
+            config.dies(),
+        ))
+    }
+
     /// A key for a job that is not a [`MemoryConfig`] — Monte-Carlo
     /// cell samples, ad-hoc cache entries in tests. The token is
     /// namespaced so synthetic keys can never collide with
@@ -392,6 +424,48 @@ mod tests {
             DesignPointKey::of_config(&a),
             DesignPointKey::of_config(&b)
         );
+    }
+
+    #[test]
+    fn geometry_keys_strip_temperature_and_nothing_else() {
+        // Any two temperatures of one array share a geometry solve.
+        assert_eq!(
+            DesignPointKey::geometry_of(&MemoryConfig::sram_77k()),
+            DesignPointKey::geometry_of(&MemoryConfig::sram_350k()),
+        );
+        // Technology, die count, and eNVM tentpole still discriminate.
+        assert_ne!(
+            DesignPointKey::geometry_of(&MemoryConfig::sram_77k()),
+            DesignPointKey::geometry_of(&MemoryConfig::edram_77k()),
+        );
+        assert_ne!(
+            DesignPointKey::geometry_of(&MemoryConfig::envm_3d(
+                MemoryTechnology::Pcm,
+                Tentpole::Optimistic,
+                2
+            )),
+            DesignPointKey::geometry_of(&MemoryConfig::envm_3d(
+                MemoryTechnology::Pcm,
+                Tentpole::Optimistic,
+                4
+            )),
+        );
+        assert_ne!(
+            DesignPointKey::geometry_of(&MemoryConfig::envm_3d(
+                MemoryTechnology::Pcm,
+                Tentpole::Optimistic,
+                4
+            )),
+            DesignPointKey::geometry_of(&MemoryConfig::envm_3d(
+                MemoryTechnology::Pcm,
+                Tentpole::Pessimistic,
+                4
+            )),
+        );
+        // The namespace keeps geometry keys apart from design points.
+        let geometry = DesignPointKey::geometry_of(&MemoryConfig::sram_77k());
+        assert!(geometry.canonical().starts_with("geom|"));
+        assert_ne!(geometry, DesignPointKey::of_config(&MemoryConfig::sram_77k()));
     }
 
     #[test]

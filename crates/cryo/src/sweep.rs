@@ -1,16 +1,22 @@
 //! The study's canonical temperature sweep.
 
+use std::sync::OnceLock;
+
 use coldtall_units::Kelvin;
 
 /// The temperature points the paper sweeps: 77 K (LN2) up to 387 K (CPU
 /// thermal design point) at roughly 50 K intervals, plus the 350 K
 /// reference.
+///
+/// The grid is a process-wide constant, so callers get a shared
+/// `'static` slice rather than a fresh allocation per call (the sweep
+/// drivers and bench loops hit this on every row).
 #[must_use]
-pub fn study_temperatures() -> Vec<Kelvin> {
-    [77.0, 127.0, 177.0, 227.0, 277.0, 327.0, 350.0, 387.0]
-        .into_iter()
-        .map(Kelvin::new)
-        .collect()
+pub fn study_temperatures() -> &'static [Kelvin] {
+    static POINTS: OnceLock<[Kelvin; 8]> = OnceLock::new();
+    POINTS.get_or_init(|| {
+        [77.0, 127.0, 177.0, 227.0, 277.0, 327.0, 350.0, 387.0].map(Kelvin::new)
+    })
 }
 
 /// An inclusive temperature range iterated at a fixed step, for custom

@@ -102,6 +102,33 @@ impl Registry {
             .collect()
     }
 
+    /// Ratios derived from counter pairs at export time, sorted by
+    /// name: a `<prefix>.hit_ratio` of `hits / (hits + misses)` for
+    /// every registered `<prefix>.hits` / `<prefix>.misses` pair.
+    ///
+    /// A pair that has never been probed (`hits + misses == 0`) is
+    /// omitted rather than exported as a bogus `0.0` — the ratio of an
+    /// untouched cache is undefined, not zero.
+    #[must_use]
+    pub fn derived(&self) -> Vec<(String, f64)> {
+        let counters = self.counters();
+        counters
+            .iter()
+            .filter_map(|(name, hits)| {
+                let prefix = name.strip_suffix(".hits")?;
+                let (_, misses) = counters
+                    .iter()
+                    .find(|(other, _)| other == &format!("{prefix}.misses"))?;
+                let total = hits + misses;
+                (total > 0).then(|| {
+                    #[allow(clippy::cast_precision_loss)] // counters are far below 2^52
+                    let ratio = *hits as f64 / total as f64;
+                    (format!("{prefix}.hit_ratio"), ratio)
+                })
+            })
+            .collect()
+    }
+
     /// Zeroes every registered counter, gauge, and span histogram (the
     /// metrics stay registered; their handles stay valid).
     pub fn reset(&self) {
@@ -148,6 +175,13 @@ impl Registry {
         for (name, value) in &counters {
             let _ = writeln!(out, "{name:width$}  {value}");
         }
+        let derived = self.derived();
+        if !derived.is_empty() {
+            out.push_str("# derived\n");
+            for (name, value) in &derived {
+                let _ = writeln!(out, "{name:width$}  {value:.6}");
+            }
+        }
         out.push_str("# gauges\n");
         for (name, value) in &gauges {
             let _ = writeln!(out, "{name:width$}  {value}");
@@ -171,12 +205,21 @@ impl Registry {
     }
 
     /// Renders the registry as one JSON object with `counters`,
-    /// `gauges`, and `spans` sections (names are JSON-escaped; the
-    /// output parses with [`crate::json`]).
+    /// `derived`, `gauges`, and `spans` sections (names are
+    /// JSON-escaped; the output parses with [`crate::json`]).
     #[must_use]
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         render_scalar_section(&mut out, &self.counters());
+        out.push_str("},\n  \"derived\": {");
+        let derived = self.derived();
+        for (i, (name, value)) in derived.iter().enumerate() {
+            let comma = if i + 1 == derived.len() { "" } else { "," };
+            let _ = write!(out, "\n    \"{}\": {value:.6}{comma}", escape(name));
+        }
+        if !derived.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("},\n  \"gauges\": {");
         render_scalar_section(&mut out, &self.gauges());
         out.push_str("},\n  \"spans\": {");
@@ -313,6 +356,42 @@ mod tests {
         };
         assert_eq!(sweep["count"], Value::Number(1.0));
         assert!(matches!(sweep["p99_ns"], Value::Number(v) if v >= 5000.0));
+    }
+
+    #[test]
+    fn derived_hit_ratios_pair_hits_with_misses() {
+        let registry = Registry::new();
+        registry.counter("cache.hits").add(9);
+        registry.counter("cache.misses").add(3);
+        // A second pair that has never been probed must be omitted...
+        let _ = registry.counter("geometry.hits");
+        let _ = registry.counter("geometry.misses");
+        // ...and a hits counter with no matching misses pairs nothing.
+        registry.counter("orphan.hits").add(5);
+        assert_eq!(
+            registry.derived(),
+            vec![("cache.hit_ratio".to_string(), 0.75)]
+        );
+
+        let parsed = json::parse(&registry.render_json()).expect("export is valid JSON");
+        let Value::Object(root) = parsed else {
+            panic!("root must be an object")
+        };
+        let Value::Object(derived) = &root["derived"] else {
+            panic!("derived section")
+        };
+        assert_eq!(derived["cache.hit_ratio"], Value::Number(0.75));
+        assert!(!derived.contains_key("geometry.hit_ratio"));
+        assert!(registry.render_text().contains("# derived"));
+
+        registry.counter("geometry.misses").inc();
+        assert_eq!(
+            registry.derived(),
+            vec![
+                ("cache.hit_ratio".to_string(), 0.75),
+                ("geometry.hit_ratio".to_string(), 0.0),
+            ]
+        );
     }
 
     #[test]

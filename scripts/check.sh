@@ -11,6 +11,12 @@ cargo test -q
 # test invocation can never silently skip it: no CLI argument or
 # environment variable may reach a panic.
 cargo test -q --test fault_injection
+# The perf gate: the batched execution paths must report exactly one
+# geometry solve per distinct temperature-stripped design-point key
+# (the `geometry.solves` counter over the full study x temperature
+# grid). Counter-based, so it cannot flake on machine load the way a
+# wall-clock threshold would.
+cargo test -q --test batch perf_smoke
 cargo clippy --workspace --all-targets -- -D warnings
 # Documentation is part of the API surface: a broken intra-doc link or
 # an undocumented public item on the strict modules fails the gate.

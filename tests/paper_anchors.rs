@@ -65,7 +65,7 @@ fn fig3_dynamic_energy_varies_about_ten_percent_with_temperature() {
     let n = node();
     let spec = ArraySpec::llc_16mib(CellModel::sram(&n), &n);
     let base = sram_baseline();
-    for t in study_temperatures() {
+    for &t in study_temperatures() {
         let a = characterize_at(&spec, t, Objective::EnergyDelayProduct);
         let rel = a.read_energy_per_bit() / base.read_energy_per_bit();
         assert!(
@@ -123,7 +123,7 @@ fn fig3_leakage_rises_monotonically_with_temperature() {
     let n = node();
     let spec = ArraySpec::llc_16mib(CellModel::sram(&n), &n);
     let mut prev = -1.0;
-    for t in study_temperatures() {
+    for &t in study_temperatures() {
         let leak = characterize_at(&spec, t, Objective::EnergyDelayProduct)
             .leakage_power
             .get();
