@@ -19,6 +19,17 @@
 //! ([`Explorer::execute`]), both pinned to one thread so the
 //! comparison measures the kernel, not the pool.
 //!
+//! A fourth section (`eval`) isolates the batch **evaluation** kernel
+//! on a warm explorer (characterizations cached, so only row
+//! production is measured): the full `study_x_temps` x SPEC2017 grid
+//! evaluated once through the scalar per-row loop
+//! ([`Explorer::evaluate`] per grid cell) and once through
+//! [`evaluate_batch`] into a reused [`EvalArena`]. The same persistent
+//! explorer then re-sweeps the grid shifted by +1 K, so the metrics
+//! section records the geometry cache taking hits (a fresh explorer
+//! per sweep never revisits a geometry, which is why `geometry.hits`
+//! used to read zero here).
+//!
 //! Every number is a median over `--iters` individually timed
 //! iterations after one untimed warmup, reported per row in
 //! nanoseconds. Prints the comparison and writes `BENCH_sweep.json`
@@ -31,7 +42,8 @@
 #![allow(clippy::print_stderr)]
 
 use coldtall_bench::timing::{time_median_pair, JsonObject};
-use coldtall_core::{pool, Explorer, LlcEvaluation, MemoryConfig};
+use coldtall_core::{evaluate_batch, pool, EvalArena, Explorer, LlcEvaluation, MemoryConfig};
+use coldtall_units::Kelvin;
 use coldtall_workloads::spec2017;
 
 fn arg_value(name: &str) -> Option<String> {
@@ -170,6 +182,77 @@ fn compare_batch(iters: u32, configs: &[MemoryConfig], json: &mut JsonObject) ->
     identical
 }
 
+/// Scalar per-row loop versus the batch evaluation kernel over the
+/// full grid, on one warm persistent explorer (every characterization
+/// cached up front, arena reused across iterations) pinned to a single
+/// thread: what gets measured is row production, not geometry solving.
+///
+/// The warm persistent explorer also exercises the geometry cache the
+/// way a long-lived service would: after the timed comparison the same
+/// explorer sweeps the grid shifted by +1 K — all-new characterization
+/// keys over all-cached geometry keys — so the report's metrics
+/// section shows nonzero `geometry.hits`.
+fn compare_eval(iters: u32, configs: &[MemoryConfig], json: &mut JsonObject) -> bool {
+    pool::set_max_threads(1);
+    let explorer = Explorer::with_defaults();
+    let plan = explorer.plan_sweep(configs).expect("study configs resolve");
+    let reference = explorer.execute(&plan); // warms every characterization
+    let rows = reference.len();
+
+    let mut arena = EvalArena::new();
+    let (per_row, batched) = time_median_pair(
+        ("per_row", "batched"),
+        iters,
+        || -> Vec<LlcEvaluation> {
+            configs
+                .iter()
+                .flat_map(|config| spec2017().iter().map(|b| explorer.evaluate(config, b)))
+                .collect()
+        },
+        || evaluate_batch(&explorer, &plan, &mut arena),
+    );
+    let identical = arena.to_rows() == reference;
+
+    // The +1 K re-sweep: new temperatures, warm geometries.
+    let shifted: Vec<MemoryConfig> = configs
+        .iter()
+        .map(|config| {
+            config
+                .clone()
+                .at_temperature(Kelvin::new(config.temperature().get() + 1.0))
+        })
+        .collect();
+    let shifted_plan = explorer.plan_sweep(&shifted).expect("shifted configs resolve");
+    let _ = explorer.execute(&shifted_plan);
+    pool::set_max_threads(0);
+
+    let speedup = per_row.median_secs() / batched.median_secs();
+    println!("# eval: warm study_x_temps grid, 1 thread ({iters} iters, median)");
+    println!(
+        "  scalar per-row loop    {:>10.3} ms  {:>9.0} ns/row",
+        per_row.median_secs() * 1e3,
+        per_row.median_ns_per(rows)
+    );
+    println!(
+        "  batched kernel         {:>10.3} ms  {:>9.0} ns/row",
+        batched.median_secs() * 1e3,
+        batched.median_ns_per(rows)
+    );
+    println!("  speedup                {speedup:>10.2}x");
+    println!("  identical results      {identical:>10}");
+
+    let mut section = JsonObject::new();
+    #[allow(clippy::cast_precision_loss)]
+    section
+        .number("rows", rows as f64)
+        .number("per_row_ns_per_row", per_row.median_ns_per(rows))
+        .number("batched_ns_per_row", batched.median_ns_per(rows))
+        .number("speedup", speedup)
+        .boolean("identical", identical);
+    json.raw("eval", &section.render());
+    identical
+}
+
 fn main() {
     let iters: u32 = arg_value("--iters")
         .and_then(|v| v.parse().ok())
@@ -198,6 +281,7 @@ fn main() {
     let ok_study = compare("study", iters, &study, &mut json);
     let ok_expanded = compare("study_x_temps", iters, &expanded, &mut json);
     let ok_batch = compare_batch(iters, &expanded, &mut json);
+    let ok_eval = compare_eval(iters, &expanded, &mut json);
 
     // Per-backend characterization tallies as their own flat section:
     // how the study's design points split between the CryoMEM and
@@ -231,5 +315,9 @@ fn main() {
     assert!(
         ok_batch,
         "geometry-batched execution diverged from the per-point reference"
+    );
+    assert!(
+        ok_eval,
+        "batch evaluation kernel diverged from the scalar per-row loop"
     );
 }

@@ -126,7 +126,7 @@ pub struct LlcEvaluation {
 
 /// Traffic-weighted seconds of LLC service per second of execution,
 /// diluted by refresh unavailability and by bank-bandwidth queueing.
-fn service_time(array: &ArrayCharacterization, traffic: &LlcTraffic) -> f64 {
+pub(crate) fn service_time(array: &ArrayCharacterization, traffic: &LlcTraffic) -> f64 {
     let raw = traffic.reads_per_sec * array.read_latency.get()
         + traffic.writes_per_sec * array.write_latency.get();
     if array.refresh_busy_fraction >= REFRESH_INFEASIBLE {
@@ -152,6 +152,79 @@ pub(crate) fn device_power(array: &ArrayCharacterization, traffic: &LlcTraffic) 
     array.standby_power() + dynamic / Seconds::new(1.0)
 }
 
+/// The per-row numeric core of an [`LlcEvaluation`]: every field that
+/// is pure arithmetic over an array characterization, one benchmark's
+/// traffic, and the pre-hoisted grid invariants.
+///
+/// Both the scalar path ([`LlcEvaluation::build`]) and the batched
+/// kernel (`crate::batch`) produce their rows through
+/// [`row_values`], so batch/scalar bit-identity holds *by
+/// construction* — there is exactly one copy of the float expressions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct RowValues {
+    /// Device power at the operating temperature (no cooling).
+    pub device_power: Watts,
+    /// Wall power including refrigeration.
+    pub wall_power: Watts,
+    /// Wall power relative to the study reference.
+    pub relative_power: f64,
+    /// Service time relative to the baseline on the same benchmark.
+    pub relative_latency: f64,
+    /// Whether the row slows the CPU (`relative_latency > 1`).
+    pub slowdown: bool,
+    /// The authoritative feasibility verdict.
+    pub feasibility: Feasibility,
+    /// 2D footprint in square millimeters.
+    pub footprint_mm2: f64,
+    /// Fraction of bank bandwidth this traffic consumes.
+    pub bandwidth_utilization: f64,
+}
+
+/// Computes one row's numeric fields from the array characterization,
+/// the benchmark's traffic, and the grid-invariant terms the batched
+/// kernel hoists: `wall_factor` (the cooling multiplier, constant per
+/// configuration plane — [`coldtall_cryo::CoolingSystem::wall_factor`]),
+/// `base_service` (the baseline's service time on this benchmark,
+/// constant per benchmark column), and `reference_power` (constant for
+/// the whole grid).
+pub(crate) fn row_values(
+    array: &ArrayCharacterization,
+    traffic: &LlcTraffic,
+    wall_factor: f64,
+    base_service: f64,
+    reference_power: Watts,
+) -> RowValues {
+    let device = device_power(array, traffic);
+    let wall = device * wall_factor;
+    let own_service = service_time(array, traffic);
+    // An unserviceable candidate is infinitely slow no matter what
+    // the baseline does: dividing two infinite service times would
+    // fabricate a NaN that compares "not a slowdown" downstream.
+    let relative_latency = if !own_service.is_finite() {
+        f64::INFINITY
+    } else if base_service.is_finite() && base_service > 0.0 {
+        own_service / base_service
+    } else {
+        1.0
+    };
+    let utilization =
+        array.bandwidth_utilization(traffic.reads_per_sec, traffic.writes_per_sec);
+    RowValues {
+        device_power: device,
+        wall_power: wall,
+        relative_power: wall / reference_power,
+        relative_latency,
+        slowdown: relative_latency > 1.0,
+        feasibility: Feasibility::classify(
+            array.refresh_busy_fraction >= REFRESH_INFEASIBLE,
+            utilization,
+            relative_latency,
+        ),
+        footprint_mm2: array.footprint.as_mm2(),
+        bandwidth_utilization: utilization,
+    }
+}
+
 impl LlcEvaluation {
     /// Builds an evaluation row.
     ///
@@ -167,39 +240,34 @@ impl LlcEvaluation {
         reference_power: Watts,
         lifetime_years: f64,
     ) -> Self {
-        let device = device_power(array, &traffic);
-        let wall = config.cooling().wall_power(device, config.temperature());
-        let own_service = service_time(array, &traffic);
+        let wall_factor = config.cooling().wall_factor(config.temperature());
         let base_service = service_time(baseline, &traffic);
-        // An unserviceable candidate is infinitely slow no matter what
-        // the baseline does: dividing two infinite service times would
-        // fabricate a NaN that compares "not a slowdown" downstream.
-        let relative_latency = if !own_service.is_finite() {
-            f64::INFINITY
-        } else if base_service.is_finite() && base_service > 0.0 {
-            own_service / base_service
-        } else {
-            1.0
-        };
-        let utilization =
-            array.bandwidth_utilization(traffic.reads_per_sec, traffic.writes_per_sec);
+        let values = row_values(array, &traffic, wall_factor, base_service, reference_power);
+        Self::from_values(config.label(), benchmark, traffic, &values, lifetime_years)
+    }
+
+    /// Assembles a row from its pre-computed numeric core plus the
+    /// identity and lifetime fields.
+    pub(crate) fn from_values(
+        config_label: String,
+        benchmark: &'static str,
+        traffic: LlcTraffic,
+        values: &RowValues,
+        lifetime_years: f64,
+    ) -> Self {
         Self {
-            config_label: config.label(),
+            config_label,
             benchmark,
             traffic,
-            device_power: device,
-            wall_power: wall,
-            relative_power: wall / reference_power,
-            relative_latency,
-            slowdown: relative_latency > 1.0,
-            feasibility: Feasibility::classify(
-                array.refresh_busy_fraction >= REFRESH_INFEASIBLE,
-                utilization,
-                relative_latency,
-            ),
-            footprint_mm2: array.footprint.as_mm2(),
+            device_power: values.device_power,
+            wall_power: values.wall_power,
+            relative_power: values.relative_power,
+            relative_latency: values.relative_latency,
+            slowdown: values.slowdown,
+            feasibility: values.feasibility,
+            footprint_mm2: values.footprint_mm2,
             lifetime_years,
-            bandwidth_utilization: utilization,
+            bandwidth_utilization: values.bandwidth_utilization,
         }
     }
 

@@ -11,10 +11,13 @@ use coldtall_workloads::Benchmark;
 
 use std::collections::HashMap;
 
+use coldtall_cachesim::TrafficTable;
+
 use crate::backend::BackendRegistry;
+use crate::batch::EvalArena;
 use crate::config::MemoryConfig;
 use crate::error::Error;
-use crate::evaluate::{device_power, LlcEvaluation};
+use crate::evaluate::{device_power, row_values, service_time, LlcEvaluation};
 use crate::lifetime::lifetime_years;
 use crate::parcache::{CacheMetrics, GeometryCache, ShardedCache};
 use crate::plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
@@ -638,15 +641,148 @@ impl Explorer {
     /// distinct geometry is solved once ([`Explorer::execute_par`]
     /// groups identically — the cache and geometry counters come out
     /// the same on both paths), then the (configuration x benchmark)
-    /// grid is evaluated in row-major order.
+    /// grid is evaluated in row-major order through the batched kernel
+    /// ([`Explorer::evaluate_batch`]) into a private arena.
     #[must_use]
     pub fn execute(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
+        let mut arena = EvalArena::new();
+        self.execute_into(plan, &mut arena);
+        arena.to_rows()
+    }
+
+    /// Runs a compiled plan sequentially into a caller-owned arena —
+    /// [`Explorer::execute`] without the row materialization.
+    ///
+    /// The arena is cleared (capacity kept) and refilled; a caller that
+    /// reuses one arena across sweeps of the same shape allocates
+    /// nothing after the first sweep. Column accessors on
+    /// [`EvalArena`] read results without constructing
+    /// [`LlcEvaluation`] values at all.
+    pub fn execute_into(&self, plan: &ExecutionPlan, arena: &mut EvalArena) {
         let _span = Span::enter(self.metrics.sweep_span.clone());
         self.metrics.sweep_configs.add(plan.configs().len() as u64);
         for group in self.geometry_groups(plan) {
             self.characterize_group(&group);
         }
-        self.evaluate_grid(plan)
+        self.evaluate_batch(plan, arena);
+        self.metrics.sweep_rows.add(arena.rows() as u64);
+    }
+
+    /// Evaluates the plan's entire (configuration × benchmark) grid in
+    /// one call, emitting rows allocation-free into `arena`.
+    ///
+    /// This is the batched counterpart of looping
+    /// [`Explorer::evaluate`] over the grid, with every grid invariant
+    /// hoisted out of the per-row loop: the baseline's `base_service`
+    /// term per benchmark column, the traffic rates (read once into the
+    /// arena's dense [`TrafficTable`]), and — per configuration plane —
+    /// one characterization-cache probe, the cooling tier's wall-power
+    /// factor, the cell endurance model, and one `evaluate` span
+    /// sample. The per-row arithmetic is shared with the scalar path
+    /// (`row_values` — one copy of the float
+    /// expressions), so the emitted rows are bit-identical to the
+    /// oracle's.
+    ///
+    /// Characterizations need not be warm: a cold plane pays its cache
+    /// miss inside the plane's probe, exactly like the scalar path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some configuration resolves to zero or several
+    /// backends (plans compiled by this explorer's
+    /// [`Explorer::plan_sweep`] always resolve).
+    pub fn evaluate_batch(&self, plan: &ExecutionPlan, arena: &mut EvalArena) {
+        arena.begin(plan.benchmarks());
+        let base_services = self.base_services(plan.benchmarks());
+        for config in plan.configs() {
+            self.evaluate_plane_into(config, &base_services, arena);
+        }
+    }
+
+    /// Hoisted per-benchmark-column invariants: the 350 K SRAM
+    /// baseline's service time on each benchmark, the denominator of
+    /// every relative-latency cell in that column.
+    fn base_services(&self, benchmarks: &[Benchmark]) -> Vec<f64> {
+        benchmarks
+            .iter()
+            .map(|benchmark| service_time(&self.baseline, &benchmark.traffic))
+            .collect()
+    }
+
+    /// Hoisted per-plane invariants of the batched kernel: one
+    /// characterization-cache probe, the cooling tier's wall-power
+    /// factor, and the cell endurance model. Counts the plane's
+    /// `evaluate.calls` (one per grid row, matching the scalar path's
+    /// total); the caller holds the plane's single `evaluate` span
+    /// sample.
+    fn plane_invariants(
+        &self,
+        config: &MemoryConfig,
+        rows: usize,
+    ) -> (ArrayCharacterization, f64, CellModel) {
+        self.metrics.evaluate_calls.add(rows as u64);
+        let array = self.characterize(config);
+        let wall_factor = config.cooling().wall_factor(config.temperature());
+        let cell = CellModel::tentpole(config.technology(), config.tentpole(), &self.node);
+        (array, wall_factor, cell)
+    }
+
+    /// Evaluates one configuration plane of the batched kernel straight
+    /// into the arena.
+    fn evaluate_plane_into(
+        &self,
+        config: &MemoryConfig,
+        base_services: &[f64],
+        arena: &mut EvalArena,
+    ) {
+        let nb = arena.benchmark_count();
+        let _span = Span::enter(self.metrics.evaluate_span.clone());
+        let (array, wall_factor, cell) = self.plane_invariants(config, nb);
+        let capacity = Capacity::from_mebibytes(16);
+        arena.push_plane_label(config.label());
+        for (b, &base_service) in base_services.iter().enumerate().take(nb) {
+            let traffic = arena.traffic.get(b);
+            let values = row_values(
+                &array,
+                &traffic,
+                wall_factor,
+                base_service,
+                self.reference_power,
+            );
+            let years = lifetime_years(&cell, capacity, 512, traffic.writes_per_sec);
+            arena.push_row(&values, years);
+        }
+    }
+
+    /// One configuration plane of the batched kernel, materialized as
+    /// owned rows — the unit of work [`Explorer::execute_par`] fans
+    /// out. Same hoisting, same per-row arithmetic, same counter
+    /// accounting as [`Explorer::evaluate_plane_into`].
+    fn evaluate_plane_rows(
+        &self,
+        config: &MemoryConfig,
+        benchmarks: &[Benchmark],
+        traffic: &TrafficTable,
+        base_services: &[f64],
+    ) -> Vec<LlcEvaluation> {
+        let _span = Span::enter(self.metrics.evaluate_span.clone());
+        let (array, wall_factor, cell) = self.plane_invariants(config, benchmarks.len());
+        let capacity = Capacity::from_mebibytes(16);
+        let label = config.label();
+        let mut rows = Vec::with_capacity(benchmarks.len());
+        for (b, benchmark) in benchmarks.iter().enumerate() {
+            let t = traffic.get(b);
+            let values = row_values(&array, &t, wall_factor, base_services[b], self.reference_power);
+            let years = lifetime_years(&cell, capacity, 512, t.writes_per_sec);
+            rows.push(LlcEvaluation::from_values(
+                label.clone(),
+                benchmark.name,
+                t,
+                &values,
+                years,
+            ));
+        }
+        rows
     }
 
     /// Runs a compiled plan with every characterization dispatched
@@ -689,11 +825,16 @@ impl Explorer {
     ///
     /// Two phases: the geometry-keyed job groups fan out first (each
     /// group solves its geometry once and sweeps its temperatures —
-    /// the expensive organization searches), then the flat pair grid
-    /// fans out with work stealing. Output order is row-major —
-    /// identical to [`Explorer::execute`] — and values are
-    /// bit-identical because evaluation is pure floating-point
-    /// arithmetic over the shared cache.
+    /// the expensive organization searches), then the batched
+    /// evaluation kernel fans out one configuration *plane* per pool
+    /// item, with the per-benchmark invariants (base service times,
+    /// traffic table) hoisted once and shared by reference across
+    /// workers. Output order is row-major — identical to
+    /// [`Explorer::execute`] — and values are bit-identical because
+    /// every path computes rows through the same
+    /// `row_values` arithmetic over the shared
+    /// cache. Counter totals are plane-local sums, so they too are
+    /// identical under any thread count.
     #[must_use]
     pub fn execute_par(&self, plan: &ExecutionPlan) -> Vec<LlcEvaluation> {
         let _span = Span::enter(self.metrics.sweep_span.clone());
@@ -702,10 +843,12 @@ impl Explorer {
         let _ = pool::parallel_map_slice(&groups, |group| self.characterize_group(group));
         let configs = plan.configs();
         let benchmarks = plan.benchmarks();
-        let rows = pool::parallel_map(plan.rows(), |index| {
-            let (c, b) = pool::unflatten(index, benchmarks.len());
-            self.evaluate(&configs[c], &benchmarks[b])
+        let base_services = self.base_services(benchmarks);
+        let traffic: TrafficTable = benchmarks.iter().map(|b| b.traffic).collect();
+        let planes = pool::parallel_map(configs.len(), |c| {
+            self.evaluate_plane_rows(&configs[c], benchmarks, &traffic, &base_services)
         });
+        let rows: Vec<LlcEvaluation> = planes.into_iter().flatten().collect();
         self.metrics.sweep_rows.add(rows.len() as u64);
         rows
     }

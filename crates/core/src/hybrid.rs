@@ -15,8 +15,9 @@ use coldtall_cell::CellModel;
 use coldtall_units::{Capacity, Joules, Watts};
 use coldtall_workloads::{spec2017, Benchmark};
 
+use crate::batch::EvalArena;
 use crate::config::MemoryConfig;
-use crate::evaluate::{Feasibility, LlcEvaluation};
+use crate::evaluate::{Feasibility, LlcEvaluation, RowValues};
 use crate::explorer::Explorer;
 use crate::lifetime::lifetime_years;
 use crate::pool;
@@ -136,20 +137,32 @@ impl HybridLlc {
     }
 }
 
-/// The capacity-apportioned partition characterizations of one hybrid,
-/// computed once and reused across every benchmark of a sweep (the two
-/// organization searches dominate a single hybrid evaluation's cost).
+/// The per-hybrid invariants of a sweep, computed once and reused
+/// across every benchmark (plane) of that hybrid: the
+/// capacity-apportioned partition characterizations (the two
+/// organization searches dominate a single hybrid evaluation's cost)
+/// plus the hoisted pure-function terms the batched kernel shares —
+/// label, cooling wall factor, and the two capture fractions.
 #[derive(Debug, Clone)]
 struct HybridParts {
     fast: ArrayCharacterization,
     dense: ArrayCharacterization,
     dense_cell: CellModel,
     dense_capacity: Capacity,
+    /// [`HybridLlc::label`], formatted once per plane.
+    label: String,
+    /// The fast partition's cooling multiplier (both partitions share
+    /// the die, so a cryogenic hybrid cools both).
+    wall_factor: f64,
+    /// [`HybridLlc::write_capture`], one `powf` per plane.
+    write_capture: f64,
+    /// [`HybridLlc::read_capture`], one `powf` per plane.
+    read_capture: f64,
 }
 
 impl Explorer {
     /// Characterizes both partitions at their share of the 16 MiB
-    /// capacity.
+    /// capacity and hoists the hybrid's plane-invariant terms.
     fn hybrid_parts(&self, hybrid: &HybridLlc) -> HybridParts {
         let total_bytes = Capacity::from_mebibytes(16).bytes();
         let fast_capacity =
@@ -165,7 +178,23 @@ impl Explorer {
             dense,
             dense_cell,
             dense_capacity,
+            label: hybrid.label(),
+            wall_factor: hybrid
+                .fast
+                .cooling()
+                .wall_factor(hybrid.fast.temperature()),
+            write_capture: hybrid.write_capture(),
+            read_capture: hybrid.read_capture(),
         }
+    }
+
+    /// The baseline's raw traffic-weighted service time for the hybrid
+    /// latency normalization (undiluted, matching the hybrid model's
+    /// own undiluted partition sum).
+    fn hybrid_base_service(&self, traffic: &LlcTraffic) -> f64 {
+        let baseline = self.baseline();
+        traffic.reads_per_sec * baseline.read_latency.get()
+            + traffic.writes_per_sec * baseline.write_latency.get()
     }
 
     /// Evaluates a hybrid LLC under a benchmark's traffic.
@@ -175,7 +204,7 @@ impl Explorer {
     /// migration surcharge on dense-partition writes.
     #[must_use]
     pub fn evaluate_hybrid(&self, hybrid: &HybridLlc, benchmark: &Benchmark) -> LlcEvaluation {
-        self.evaluate_hybrid_parts(hybrid, &self.hybrid_parts(hybrid), benchmark)
+        self.evaluate_hybrid_parts(&self.hybrid_parts(hybrid), benchmark)
     }
 
     /// Evaluates every hybrid under every SPEC2017 benchmark on the
@@ -191,25 +220,59 @@ impl Explorer {
         let benchmarks = spec2017();
         pool::parallel_map(hybrids.len() * benchmarks.len(), |index| {
             let (h, b) = pool::unflatten(index, benchmarks.len());
-            self.evaluate_hybrid_parts(&hybrids[h], &parts[h], &benchmarks[b])
+            self.evaluate_hybrid_parts(&parts[h], &benchmarks[b])
         })
     }
 
-    fn evaluate_hybrid_parts(
+    /// Evaluates every hybrid under every SPEC2017 benchmark
+    /// sequentially into a caller-owned arena — the hybrid counterpart
+    /// of [`Explorer::execute_into`], emitting rows allocation-free
+    /// and bit-identical to [`Explorer::par_sweep_hybrids`].
+    pub fn sweep_hybrids_into(&self, hybrids: &[HybridLlc], arena: &mut EvalArena) {
+        let benchmarks = spec2017();
+        arena.begin(benchmarks);
+        let base_services: Vec<f64> = benchmarks
+            .iter()
+            .map(|b| self.hybrid_base_service(&b.traffic))
+            .collect();
+        for hybrid in hybrids {
+            let parts = self.hybrid_parts(hybrid);
+            arena.push_plane_label(parts.label.clone());
+            for (b, base_service) in base_services.iter().enumerate() {
+                let traffic = arena.traffic.get(b);
+                let (values, years) = self.hybrid_row(&parts, &traffic, *base_service);
+                arena.push_row(&values, years);
+            }
+        }
+    }
+
+    fn evaluate_hybrid_parts(&self, parts: &HybridParts, benchmark: &Benchmark) -> LlcEvaluation {
+        let traffic = benchmark.traffic;
+        let base_service = self.hybrid_base_service(&traffic);
+        let (values, years) = self.hybrid_row(parts, &traffic, base_service);
+        LlcEvaluation::from_values(parts.label.clone(), benchmark.name, traffic, &values, years)
+    }
+
+    /// The hybrid model's per-row arithmetic — the single copy of the
+    /// float expressions shared by the scalar path
+    /// ([`Explorer::evaluate_hybrid`]), the pooled sweep, and the
+    /// arena sweep, which is what keeps them bit-identical.
+    fn hybrid_row(
         &self,
-        hybrid: &HybridLlc,
         parts: &HybridParts,
-        benchmark: &Benchmark,
-    ) -> LlcEvaluation {
+        traffic: &LlcTraffic,
+        base_service: f64,
+    ) -> (RowValues, f64) {
         let HybridParts {
             fast,
             dense,
             dense_cell,
             dense_capacity,
+            wall_factor,
+            write_capture: wc,
+            read_capture: rc,
+            ..
         } = parts;
-        let traffic = benchmark.traffic;
-        let wc = hybrid.write_capture();
-        let rc = hybrid.read_capture();
         let (r, w) = (traffic.reads_per_sec, traffic.writes_per_sec);
         let (r_fast, r_dense) = (r * rc, r * (1.0 - rc));
         let (w_fast, w_dense) = (w * wc, w * (1.0 - wc));
@@ -224,11 +287,9 @@ impl Explorer {
         );
         let standby = fast.standby_power() + dense.standby_power();
         let device = standby + Watts::new(dynamic.get());
-        // Both partitions share the die: a cryogenic hybrid cools both.
-        let wall = hybrid
-            .fast
-            .cooling()
-            .wall_power(device, hybrid.fast.temperature());
+        // Both partitions share the die: a cryogenic hybrid cools both
+        // (the hoisted factor is exactly the scalar path's multiplier).
+        let wall = device * *wall_factor;
 
         // Latency: traffic-weighted across partitions, normalized to the
         // baseline on the same benchmark.
@@ -236,8 +297,6 @@ impl Explorer {
             + w_fast * fast.write_latency.get()
             + r_dense * dense.read_latency.get()
             + w_dense * dense.write_latency.get();
-        let baseline = self.baseline();
-        let base_service = r * baseline.read_latency.get() + w * baseline.write_latency.get();
         let relative_latency = if base_service > 0.0 {
             service / base_service
         } else {
@@ -260,10 +319,7 @@ impl Explorer {
         } else {
             Feasibility::Viable
         };
-        LlcEvaluation {
-            config_label: hybrid.label(),
-            benchmark: benchmark.name,
-            traffic: LlcTraffic::new(r, w),
+        let values = RowValues {
             device_power: device,
             wall_power: wall,
             relative_power: wall / self.reference_power(),
@@ -271,9 +327,9 @@ impl Explorer {
             slowdown: relative_latency > 1.0,
             feasibility,
             footprint_mm2,
-            lifetime_years: years,
             bandwidth_utilization: utilization,
-        }
+        };
+        (values, years)
     }
 }
 
@@ -354,6 +410,16 @@ mod tests {
         // Row-major order, values identical to the one-off path.
         let direct = explorer.evaluate_hybrid(&hybrids[1], &benchmarks[3]);
         assert_eq!(rows[benchmarks.len() + 3], direct);
+    }
+
+    #[test]
+    fn arena_hybrid_sweep_is_bit_identical_to_the_pooled_sweep() {
+        let explorer = Explorer::with_defaults();
+        let hybrids = [hybrid(2), hybrid(8)];
+        let mut arena = EvalArena::new();
+        explorer.sweep_hybrids_into(&hybrids, &mut arena);
+        assert_eq!(arena.rows(), hybrids.len() * spec2017().len());
+        assert_eq!(arena.to_rows(), explorer.par_sweep_hybrids(&hybrids));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 mod backend;
+mod batch;
 mod config;
 mod error;
 mod evaluate;
@@ -60,6 +61,7 @@ pub use backend::{
     BackendCapabilities, BackendRegistry, CharacterizationBackend, CryoMemBackend,
     DestinyBackend,
 };
+pub use batch::{evaluate_batch, EvalArena};
 pub use config::MemoryConfig;
 pub use error::Error;
 pub use evaluate::{Feasibility, LlcEvaluation};
@@ -67,7 +69,7 @@ pub use explorer::Explorer;
 pub use plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 pub use hybrid::HybridLlc;
 pub use parcache::{CacheMetrics, GeometryCache, ShardedCache};
-pub use pareto::{pareto_front, recommend, Constraints};
+pub use pareto::{pareto_front, pareto_front_arena, recommend, Constraints};
 pub use thermal_schedule::{phase_evaluation, plan_schedule, TemperatureSchedule, WorkloadPhase};
 pub use variation::{monte_carlo, sample_cells, MetricBand, VariationSummary};
 pub use lifetime::{lifetime_years, LIFETIME_TARGET_YEARS};

@@ -5,6 +5,7 @@
 //! against deployment constraints, extract the power/latency/area
 //! Pareto frontier, and recommend a configuration.
 
+use crate::batch::EvalArena;
 use crate::evaluate::LlcEvaluation;
 
 /// Deployment constraints an LLC evaluation must satisfy.
@@ -111,6 +112,38 @@ pub fn pareto_front(evals: &[LlcEvaluation]) -> Vec<LlcEvaluation> {
         .filter(|e| finite(e))
         .filter(|candidate| !evals.iter().any(|other| dominates(other, candidate)))
         .cloned()
+        .collect();
+    front.sort_by(|a, b| a.relative_power.total_cmp(&b.relative_power));
+    front.dedup_by(|a, b| a.config_label == b.config_label);
+    front
+}
+
+/// [`pareto_front`] straight off an [`EvalArena`]'s dense columns:
+/// dominance screening reads the power/latency/area columns in place
+/// and only the surviving frontier rows are materialized as
+/// [`LlcEvaluation`] values.
+///
+/// Produces exactly `pareto_front(&arena.to_rows())` — same
+/// comparisons in the same order — without building the full row
+/// vector first.
+#[must_use]
+pub fn pareto_front_arena(arena: &EvalArena) -> Vec<LlcEvaluation> {
+    let power = arena.relative_power();
+    let latency = arena.relative_latency();
+    let area = arena.footprint_mm2();
+    let finite =
+        |i: usize| power[i].is_finite() && latency[i].is_finite() && area[i].is_finite();
+    // Index form of `dominates`, over the same three objectives.
+    let dominates = |a: usize, b: usize| {
+        let no_worse =
+            power[a] <= power[b] && latency[a] <= latency[b] && area[a] <= area[b];
+        let better = power[a] < power[b] || latency[a] < latency[b] || area[a] < area[b];
+        no_worse && better
+    };
+    let mut front: Vec<LlcEvaluation> = (0..arena.rows())
+        .filter(|&candidate| finite(candidate))
+        .filter(|&candidate| !(0..arena.rows()).any(|other| dominates(other, candidate)))
+        .map(|candidate| arena.row(candidate))
         .collect();
     front.sort_by(|a, b| a.relative_power.total_cmp(&b.relative_power));
     front.dedup_by(|a, b| a.config_label == b.config_label);
@@ -244,6 +277,22 @@ mod tests {
             .iter()
             .all(|e| !e.config_label.starts_with("nan-")));
         assert_eq!(front, pareto_front(&evals), "poison rows change nothing");
+    }
+
+    #[test]
+    fn arena_front_matches_the_row_vector_front() {
+        let explorer = Explorer::with_defaults();
+        let plan = explorer
+            .plan_sweep(&MemoryConfig::study_set())
+            .expect("study set resolves");
+        let mut arena = crate::batch::EvalArena::new();
+        explorer.execute_into(&plan, &mut arena);
+        // Whole-grid frontier (all benchmarks at once) and a
+        // single-benchmark slice both agree with the row-vector path.
+        assert_eq!(
+            pareto_front_arena(&arena),
+            pareto_front(&arena.to_rows())
+        );
     }
 
     #[test]

@@ -2,11 +2,12 @@
 
 use std::collections::HashMap;
 
-use coldtall_workloads::{spec2017, Benchmark, TrafficBand};
+use coldtall_workloads::{spec2017, TrafficBand};
 
+use crate::batch::EvalArena;
 use crate::config::MemoryConfig;
-use crate::evaluate::LlcEvaluation;
 use crate::explorer::Explorer;
+use crate::lifetime::LIFETIME_TARGET_YEARS;
 
 /// The optimization goal of one Table II column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,11 +24,13 @@ impl DesignTarget {
     /// All targets, in Table II column order.
     pub const ALL: [Self; 3] = [Self::Power, Self::Performance, Self::Area];
 
-    fn score(self, eval: &LlcEvaluation) -> f64 {
+    /// The target's score of arena row `row` — read straight off the
+    /// dense column, no row materialization.
+    fn score_at(self, arena: &EvalArena, row: usize) -> f64 {
         match self {
-            Self::Power => eval.relative_power,
-            Self::Performance => eval.relative_latency,
-            Self::Area => eval.footprint_mm2,
+            Self::Power => arena.relative_power()[row],
+            Self::Performance => arena.relative_latency()[row],
+            Self::Area => arena.footprint_mm2()[row],
         }
     }
 }
@@ -67,20 +70,33 @@ pub struct BandSummary {
 /// most benchmarks of that band, with the second-most-preferred
 /// configuration as the endurance alternate.
 ///
+/// The whole (configuration × benchmark) grid is evaluated exactly
+/// once — one batched sweep into an [`EvalArena`] — and every
+/// band/target ranking reads the arena's dense score columns in place.
+///
 /// # Panics
 ///
-/// Panics if `configs` is empty.
+/// Panics if `configs` is empty, or if some configuration does not
+/// resolve to exactly one characterization backend (nothing the study
+/// set or the CLI can produce does).
 #[must_use]
 pub fn summarize(explorer: &Explorer, configs: &[MemoryConfig]) -> Vec<BandSummary> {
     assert!(!configs.is_empty(), "need at least one configuration");
+    let plan = explorer
+        .plan_sweep(configs)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let mut arena = EvalArena::new();
+    explorer.execute_into(&plan, &mut arena);
     TrafficBand::ALL
         .iter()
         .map(|&band| {
-            let benchmarks: Vec<&Benchmark> = spec2017()
+            let bench_indices: Vec<usize> = spec2017()
                 .iter()
-                .filter(|b| b.traffic_band() == band)
+                .enumerate()
+                .filter(|(_, b)| b.traffic_band() == band)
+                .map(|(i, _)| i)
                 .collect();
-            let choose = |target| choose_for(explorer, configs, &benchmarks, target);
+            let choose = |target| choose_for(&arena, configs, &bench_indices, target);
             BandSummary {
                 band,
                 power: choose(DesignTarget::Power),
@@ -98,31 +114,28 @@ pub fn table2(explorer: &Explorer) -> Vec<BandSummary> {
 }
 
 fn choose_for(
-    explorer: &Explorer,
+    arena: &EvalArena,
     configs: &[MemoryConfig],
-    benchmarks: &[&Benchmark],
+    bench_indices: &[usize],
     target: DesignTarget,
 ) -> OptimalChoice {
-    // Per benchmark: rank configurations by the target score.
+    // Per benchmark: rank configurations by the target score, read off
+    // the arena's dense columns.
     let mut first_counts: HashMap<String, usize> = HashMap::new();
-    let mut evals: HashMap<(String, &'static str), LlcEvaluation> = HashMap::new();
-    for benchmark in benchmarks {
-        let mut ranked: Vec<LlcEvaluation> = configs
-            .iter()
-            .map(|c| explorer.evaluate(c, benchmark))
-            .filter(|e| target.score(e).is_finite())
+    for &bi in bench_indices {
+        let mut ranked: Vec<usize> = (0..configs.len())
+            .filter(|&c| target.score_at(arena, arena.row_index(c, bi)).is_finite())
             .collect();
-        ranked.sort_by(|a, b| {
+        ranked.sort_by(|&a, &b| {
             target
-                .score(a)
-                .partial_cmp(&target.score(b))
+                .score_at(arena, arena.row_index(a, bi))
+                .partial_cmp(&target.score_at(arena, arena.row_index(b, bi)))
                 .expect("finite scores")
         });
-        if let Some(first) = ranked.first() {
-            *first_counts.entry(first.config_label.clone()).or_default() += 1;
-        }
-        for e in ranked {
-            evals.insert((e.config_label.clone(), e.benchmark), e);
+        if let Some(&first) = ranked.first() {
+            *first_counts
+                .entry(arena.config_labels()[first].clone())
+                .or_default() += 1;
         }
     }
 
@@ -133,42 +146,54 @@ fn choose_for(
     // counts does not crowd the podium.
     let winner_config = configs.iter().find(|c| c.label() == winner);
     let alternate = winner_config.and_then(|wc| {
-        let others: Vec<MemoryConfig> = configs
-            .iter()
-            .filter(|c| {
-                c.technology() != wc.technology() || c.is_cryogenic() != wc.is_cryogenic()
+        let others: Vec<usize> = (0..configs.len())
+            .filter(|&c| {
+                configs[c].technology() != wc.technology()
+                    || configs[c].is_cryogenic() != wc.is_cryogenic()
             })
-            .cloned()
             .collect();
         if others.is_empty() {
             return None;
         }
         let mut counts: HashMap<String, usize> = HashMap::new();
-        for benchmark in benchmarks {
+        for &bi in bench_indices {
             let best = others
                 .iter()
-                .map(|c| explorer.evaluate(c, benchmark))
-                .filter(|e| target.score(e).is_finite())
-                .min_by(|a, b| {
+                .copied()
+                .filter(|&c| target.score_at(arena, arena.row_index(c, bi)).is_finite())
+                .min_by(|&a, &b| {
                     target
-                        .score(a)
-                        .partial_cmp(&target.score(b))
+                        .score_at(arena, arena.row_index(a, bi))
+                        .partial_cmp(&target.score_at(arena, arena.row_index(b, bi)))
                         .expect("finite scores")
                 });
             if let Some(best) = best {
-                *counts.entry(best.config_label).or_default() += 1;
+                *counts
+                    .entry(arena.config_labels()[best].clone())
+                    .or_default() += 1;
             }
         }
         modal(&counts)
     });
 
-    let winner_rows: Vec<&LlcEvaluation> = benchmarks
+    // The winner's rows, skipping benchmarks where its score is not
+    // finite (those never entered the ranking above either).
+    let winner_index = configs
         .iter()
-        .filter_map(|b| evals.get(&(winner.clone(), b.name)))
+        .position(|c| c.label() == winner)
+        .expect("the winner label comes from the configuration list");
+    let winner_rows: Vec<usize> = bench_indices
+        .iter()
+        .map(|&bi| arena.row_index(winner_index, bi))
+        .filter(|&row| target.score_at(arena, row).is_finite())
         .collect();
-    let endurance_limited = winner_rows.iter().any(|e| !e.meets_lifetime_target());
-    let improvement = geometric_mean(winner_rows.iter().map(|e| {
-        let score = target.score(e);
+    // Lifetime is never NaN (validated invariant), so `<` is the exact
+    // negation of `meets_lifetime_target`'s `>=`.
+    let endurance_limited = winner_rows
+        .iter()
+        .any(|&row| arena.lifetime_years()[row] < LIFETIME_TARGET_YEARS);
+    let improvement = geometric_mean(winner_rows.iter().map(|&row| {
+        let score = target.score_at(arena, row);
         match target {
             DesignTarget::Power | DesignTarget::Performance => 1.0 / score,
             DesignTarget::Area => 1.0 / score, // mm^2; relative use only

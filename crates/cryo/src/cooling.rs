@@ -94,6 +94,20 @@ impl CoolingSystem {
         self.overhead_factor() * carnot / carnot_77
     }
 
+    /// The wall-power multiplier at temperature `t`:
+    /// `1 + overhead_at(t)`, so `wall = device * wall_factor(t)`.
+    ///
+    /// Exposed separately from [`CoolingSystem::wall_power`] so batched
+    /// evaluation can hoist the factor out of a per-row loop — the
+    /// factor depends only on the cooling tier and temperature, both
+    /// constant across a configuration's benchmark plane. The scalar
+    /// path multiplies by exactly this factor, which is what keeps the
+    /// two paths bit-identical.
+    #[must_use]
+    pub fn wall_factor(self, t: Kelvin) -> f64 {
+        1.0 + self.overhead_at(t)
+    }
+
     /// Wall power of running `device_power` at temperature `t`: the
     /// device power plus the refrigeration input required to hold the
     /// set-point (zero at or above ambient).
@@ -104,7 +118,7 @@ impl CoolingSystem {
     #[must_use]
     pub fn wall_power(self, device_power: Watts, t: Kelvin) -> Watts {
         assert!(device_power.get() >= 0.0, "device power must be non-negative");
-        device_power * (1.0 + self.overhead_at(t))
+        device_power * self.wall_factor(t)
     }
 }
 
@@ -191,6 +205,22 @@ mod tests {
     fn wall_power_at_77k_includes_one_plus_factor() {
         let p = CoolingSystem::Server100kW.wall_power(Watts::new(1.0), Kelvin::LN2);
         assert!((p.get() - 10.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_factor_is_the_exact_wall_power_multiplier() {
+        for sys in CoolingSystem::ALL {
+            for t in [77.0, 150.0, 300.0, 350.0] {
+                let t = Kelvin::new(t);
+                let factor = sys.wall_factor(t);
+                assert_eq!(factor, 1.0 + sys.overhead_at(t));
+                // Bit-identical, not merely close: the batched kernel
+                // multiplies by the hoisted factor.
+                let device = Watts::new(2.5);
+                assert_eq!(sys.wall_power(device, t), device * factor);
+            }
+        }
+        assert_eq!(CoolingSystem::Server100kW.wall_factor(Kelvin::ROOM), 1.0);
     }
 
     #[test]

@@ -17,6 +17,11 @@ cargo test -q --test fault_injection
 # grid). Counter-based, so it cannot flake on machine load the way a
 # wall-clock threshold would.
 cargo test -q --test batch perf_smoke
+# The evaluation-kernel perf gate: on a warm explorer the batched
+# evaluation path must be strictly faster per row than the scalar
+# per-row loop (interleaved median timing, so a one-off scheduler
+# hiccup lands on both sides alike).
+cargo test -q --test eval_batch perf_smoke
 cargo clippy --workspace --all-targets -- -D warnings
 # Documentation is part of the API surface: a broken intra-doc link or
 # an undocumented public item on the strict modules fails the gate.

@@ -21,7 +21,6 @@ use coldtall::array::Objective;
 use coldtall::core::{pool, Explorer, MemoryConfig};
 use coldtall::obs::Registry;
 use coldtall::tech::ProcessNode;
-use coldtall::workloads::spec2017;
 
 /// Tests that force a pool width share the process-global override.
 static POOL_LOCK: Mutex<()> = Mutex::new(());
@@ -92,8 +91,10 @@ fn counters_identical_between_sequential_and_parallel_sweeps() {
     let hits = seq_registry.counter_value("cache.hits").unwrap();
     assert_eq!(
         hits,
-        (configs.len() * spec2017().len()) as u64,
-        "after warmup every evaluation probe is a hit"
+        configs.len() as u64,
+        "the batched evaluation kernel probes once per configuration \
+         plane (not once per row), and after the job-phase warmup every \
+         plane probe is a hit"
     );
 }
 
@@ -188,9 +189,16 @@ fn characterization_span_counts_only_real_work() {
         span.count() <= registry.counter_value("cache.misses").unwrap(),
         "dispatches never exceed misses"
     );
+    // The batched kernel takes one `evaluate` span sample per
+    // configuration plane (`sweep.configs`), while `evaluate.calls`
+    // still counts logical per-row evaluations (`sweep.rows`).
     assert_eq!(
         registry.span("evaluate").count(),
-        registry.counter_value("explorer.evaluate.calls").unwrap()
+        registry.counter_value("sweep.configs").unwrap()
+    );
+    assert_eq!(
+        registry.counter_value("explorer.evaluate.calls").unwrap(),
+        registry.counter_value("sweep.rows").unwrap()
     );
     assert_eq!(registry.span("sweep").count(), 1);
 }
