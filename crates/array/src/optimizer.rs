@@ -148,6 +148,71 @@ pub fn score_lower_bound(spec: &ArraySpec, org: Organization, objective: Objecti
     lower_bound(&Ctx::new(spec, org), objective)
 }
 
+/// Componentwise floors over a feasible candidate list at one operating
+/// point: for each physical quantity the application model consumes,
+/// the minimum over *every* candidate organization.
+///
+/// Whatever objective the organization search later minimizes, the
+/// chosen organization is one of the candidates, and each of its
+/// characterized fields is produced by the very component expression
+/// minimized here (the helpers above are bit-identical to the term
+/// order [`crate::ArrayCharacterization`] is built from). The floors
+/// are
+/// therefore sound lower bounds on the chosen array's fields for any
+/// [`Objective`] — the generalization of [`score_lower_bound`] from one
+/// candidate's score to a whole candidate region's field vector, which
+/// is what the design-space search in `coldtall-core` prunes with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentFloors {
+    /// Minimum read latency over the candidates, in seconds.
+    pub read_latency_s: f64,
+    /// Minimum read energy per access over the candidates, in joules.
+    pub read_energy_j: f64,
+    /// Minimum standby (leakage + refresh) power over the candidates,
+    /// in watts.
+    pub standby_power_w: f64,
+    /// Minimum 2D footprint over the candidates, in square meters.
+    pub footprint_m2: f64,
+    /// Minimum refresh busy fraction over the candidates (`0.0` for
+    /// refresh-free cells).
+    pub refresh_busy_fraction: f64,
+}
+
+/// Computes [`ComponentFloors`] over `candidates` at `spec`'s operating
+/// point, sharing one device context across the scan exactly as
+/// [`search`] does.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub(crate) fn component_floors(
+    spec: &ArraySpec,
+    candidates: &[(Organization, Geometry)],
+) -> ComponentFloors {
+    assert!(
+        !candidates.is_empty(),
+        "no feasible organization for the given capacity"
+    );
+    let devices = DeviceCtx::new(spec);
+    let mut floors = ComponentFloors {
+        read_latency_s: f64::INFINITY,
+        read_energy_j: f64::INFINITY,
+        standby_power_w: f64::INFINITY,
+        footprint_m2: f64::INFINITY,
+        refresh_busy_fraction: f64::INFINITY,
+    };
+    for &(org, geom) in candidates {
+        let ctx = Ctx::with_parts(spec, org, geom, &devices);
+        floors.read_latency_s = floors.read_latency_s.min(read_latency(&ctx).get());
+        floors.read_energy_j = floors.read_energy_j.min(read_energy(&ctx).get());
+        floors.standby_power_w = floors.standby_power_w.min(standby_power(&ctx).get());
+        floors.footprint_m2 = floors.footprint_m2.min(ctx.geom.footprint);
+        let busy = refresh::profile(&ctx).map_or(0.0, |p| p.busy_fraction);
+        floors.refresh_busy_fraction = floors.refresh_busy_fraction.min(busy);
+    }
+    floors
+}
+
 /// Scans `candidates` in order and returns the characterization
 /// minimizing `objective`, pruning candidates whose lower bound already
 /// exceeds the best score seen.

@@ -20,7 +20,7 @@ use coldtall_units::Kelvin;
 
 use crate::characterize::ArrayCharacterization;
 use crate::components::Geometry;
-use crate::optimizer::{self, Objective};
+use crate::optimizer::{self, ComponentFloors, Objective};
 use crate::organization::Organization;
 use crate::spec::ArraySpec;
 
@@ -122,6 +122,22 @@ impl OrgGeometry {
         let spec = self.spec.clone().at_temperature_cryo(t);
         optimizer::search(&spec, &self.candidates, objective)
     }
+
+    /// Componentwise floors over the candidate list at operating
+    /// temperature `t` (same voltage-scaling policy as
+    /// [`OrgGeometry::apply_temperature`]): lower bounds on the fields
+    /// of whatever characterization [`OrgGeometry::apply_temperature`]
+    /// returns at `t`, for *any* objective, because the chosen
+    /// organization is one of the minimized-over candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec admits no feasible organization.
+    #[must_use]
+    pub fn floors_at_temperature(&self, t: Kelvin) -> ComponentFloors {
+        let spec = self.spec.clone().at_temperature_cryo(t);
+        optimizer::component_floors(&spec, &self.candidates)
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +195,36 @@ mod tests {
                         .characterize(Objective::EnergyDelayProduct),
                     "two-phase result diverged at {t}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn floors_bound_every_objectives_characterization() {
+        let node = ProcessNode::ptm_22nm_hp();
+        for cell in [
+            CellModel::sram(&node),
+            CellModel::tentpole(MemoryTechnology::Edram3T, Tentpole::Optimistic, &node),
+        ] {
+            let spec = ArraySpec::llc_16mib(cell, &node);
+            let geometry = OrgGeometry::solve(&spec);
+            for t in [77.0, 227.0, 350.0] {
+                let t = Kelvin::new(t);
+                let floors = geometry.floors_at_temperature(t);
+                for objective in [
+                    Objective::EnergyDelayProduct,
+                    Objective::ReadLatency,
+                    Objective::ReadEnergy,
+                    Objective::Area,
+                    Objective::StandbyPower,
+                ] {
+                    let array = geometry.apply_temperature(t, objective);
+                    assert!(floors.read_latency_s <= array.read_latency.get());
+                    assert!(floors.read_energy_j <= array.read_energy.get());
+                    assert!(floors.standby_power_w <= array.standby_power().get());
+                    assert!(floors.footprint_m2 <= array.footprint.get());
+                    assert!(floors.refresh_busy_fraction <= array.refresh_busy_fraction);
+                }
             }
         }
     }

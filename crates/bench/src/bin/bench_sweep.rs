@@ -30,6 +30,12 @@
 //! per sweep never revisits a geometry, which is why `geometry.hits`
 //! used to read zero here).
 //!
+//! A fifth section (`search`) compares the adaptive branch-and-bound
+//! search ([`Explorer::search`]) against the exhaustive
+//! sweep-then-filter frontier extraction on the `study_x_temps`
+//! region, reporting wall time, points evaluated versus provably
+//! skipped, and whether the two frontiers are bit-identical.
+//!
 //! Every number is a median over `--iters` individually timed
 //! iterations after one untimed warmup, reported per row in
 //! nanoseconds. Prints the comparison and writes `BENCH_sweep.json`
@@ -42,7 +48,10 @@
 #![allow(clippy::print_stderr)]
 
 use coldtall_bench::timing::{time_median_pair, JsonObject};
-use coldtall_core::{evaluate_batch, pool, EvalArena, Explorer, LlcEvaluation, MemoryConfig};
+use coldtall_core::{
+    evaluate_batch, pareto_front, pool, Constraints, EvalArena, Explorer, LlcEvaluation,
+    MemoryConfig,
+};
 use coldtall_units::Kelvin;
 use coldtall_workloads::spec2017;
 
@@ -253,6 +262,72 @@ fn compare_eval(iters: u32, configs: &[MemoryConfig], json: &mut JsonObject) -> 
     identical
 }
 
+/// Adaptive branch-and-bound search versus the exhaustive
+/// sweep-then-filter frontier extraction, both from a cold explorer so
+/// each pays its own characterization phase: the exhaustive path
+/// characterizes every plane and filters at the end, the adaptive path
+/// bounds regions first and refines only the survivors. Returns `true`
+/// only if the two frontiers are bit-identical *and* the search
+/// actually avoided work (skipped points, evaluated strictly fewer
+/// rows than the grid holds).
+fn compare_search(iters: u32, configs: &[MemoryConfig], json: &mut JsonObject) -> bool {
+    let search = || {
+        Explorer::with_defaults()
+            .search("study_x_temps", configs, &Constraints::none())
+            .expect("the study region searches")
+    };
+    let exhaustive_front = pareto_front(&cold_sweep(configs, Explorer::par_sweep_configs));
+    let outcome = search();
+    let identical = outcome.frontier == exhaustive_front;
+    let stats = outcome.stats;
+    let avoided = stats.points_skipped > 0 && stats.points_evaluated < stats.rows_total;
+
+    let (exhaustive, adaptive) = time_median_pair(
+        ("exhaustive", "adaptive"),
+        iters,
+        || pareto_front(&cold_sweep(configs, Explorer::par_sweep_configs)),
+        || search().frontier,
+    );
+
+    let rows = stats.rows_total as usize;
+    let speedup = exhaustive.median_secs() / adaptive.median_secs();
+    println!("# search: study_x_temps region, adaptive vs exhaustive ({iters} iters, median)");
+    println!(
+        "  exhaustive + filter    {:>10.3} ms  {:>9.0} ns/row",
+        exhaustive.median_secs() * 1e3,
+        exhaustive.median_ns_per(rows)
+    );
+    println!(
+        "  adaptive search        {:>10.3} ms  {:>9.0} ns/row",
+        adaptive.median_secs() * 1e3,
+        adaptive.median_ns_per(rows)
+    );
+    println!("  speedup                {speedup:>10.2}x");
+    println!(
+        "  points evaluated       {:>10} of {rows} ({} skipped: {} infeasible, {} pruned)",
+        stats.points_evaluated, stats.points_skipped, stats.skipped_infeasible, stats.skipped_pruned
+    );
+    println!("  identical frontier     {identical:>10}");
+
+    let mut section = JsonObject::new();
+    #[allow(clippy::cast_precision_loss)]
+    section
+        .number("rows", rows as f64)
+        .number("exhaustive_secs", exhaustive.median_secs())
+        .number("adaptive_secs", adaptive.median_secs())
+        .number("speedup", speedup)
+        .number("points_evaluated", stats.points_evaluated as f64)
+        .number("points_skipped", stats.points_skipped as f64)
+        .number("skipped_infeasible", stats.skipped_infeasible as f64)
+        .number("skipped_pruned", stats.skipped_pruned as f64)
+        .number("regions_expanded", stats.regions_expanded as f64)
+        .number("regions_pruned", stats.regions_pruned as f64)
+        .number("frontier_points", outcome.frontier.len() as f64)
+        .boolean("identical", identical);
+    json.raw("search", &section.render());
+    identical && avoided
+}
+
 fn main() {
     let iters: u32 = arg_value("--iters")
         .and_then(|v| v.parse().ok())
@@ -282,6 +357,7 @@ fn main() {
     let ok_expanded = compare("study_x_temps", iters, &expanded, &mut json);
     let ok_batch = compare_batch(iters, &expanded, &mut json);
     let ok_eval = compare_eval(iters, &expanded, &mut json);
+    let ok_search = compare_search(iters, &expanded, &mut json);
 
     // Per-backend characterization tallies as their own flat section:
     // how the study's design points split between the CryoMEM and
@@ -319,5 +395,9 @@ fn main() {
     assert!(
         ok_eval,
         "batch evaluation kernel diverged from the scalar per-row loop"
+    );
+    assert!(
+        ok_search,
+        "adaptive search diverged from the exhaustive frontier or avoided no work"
     );
 }

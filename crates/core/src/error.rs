@@ -86,6 +86,14 @@ pub enum Error {
         /// Names of every claiming backend, in registration order.
         backends: Vec<String>,
     },
+    /// An adaptive search was asked to explore a region holding no
+    /// design points at all (for example, a CLI filter that matches
+    /// nothing). An *infeasible* region is a result (an empty
+    /// frontier), not an error; an *empty* one is a caller mistake.
+    EmptySearchSpace {
+        /// Description of the empty region as the caller named it.
+        region: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -116,6 +124,9 @@ impl fmt::Display for Error {
                     "ambiguous backend for {config}: {} all claim it",
                     backends.join(", ")
                 )
+            }
+            Self::EmptySearchSpace { region } => {
+                write!(f, "the search region '{region}' contains no design points")
             }
         }
     }
@@ -176,6 +187,11 @@ mod tests {
             backends: vec!["cryomem".into(), "destiny".into()],
         };
         assert!(conflict.to_string().contains("cryomem, destiny"));
+        assert!(Error::EmptySearchSpace {
+            region: "edram x 8 dies".into()
+        }
+        .to_string()
+        .contains("'edram x 8 dies'"));
     }
 
     #[test]

@@ -12,7 +12,11 @@ use crate::error::Error;
 
 /// Refresh-busy fraction beyond which an array cannot serve its traffic
 /// at all (the paper's "cannot run ordinary workloads" regime).
-const REFRESH_INFEASIBLE: f64 = 0.999;
+///
+/// `pub(crate)` so the adaptive search can prove a whole configuration
+/// plane unserviceable from its refresh-busy *floor* (the minimum over
+/// every candidate organization) without characterizing it.
+pub(crate) const REFRESH_INFEASIBLE: f64 = 0.999;
 
 /// Why a design point is (or is not) a viable LLC for a benchmark.
 ///

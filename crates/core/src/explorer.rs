@@ -20,8 +20,10 @@ use crate::error::Error;
 use crate::evaluate::{device_power, row_values, service_time, LlcEvaluation};
 use crate::lifetime::lifetime_years;
 use crate::parcache::{CacheMetrics, GeometryCache, ShardedCache};
+use crate::pareto::Constraints;
 use crate::plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 use crate::pool;
+use crate::search::{self, SearchMetrics, SearchOutcome};
 
 /// The reference benchmark all power results are normalized to, as in
 /// the paper (350 K SRAM running `namd`).
@@ -72,6 +74,10 @@ pub struct Explorer {
     backends: BackendRegistry,
     /// Telemetry handles aligned with `backends.backends()` by index.
     backend_stats: Vec<BackendStats>,
+    /// Work-avoidance telemetry of the adaptive search
+    /// ([`Explorer::search`]); registered eagerly so counter *sets* are
+    /// identical whether or not a search ever ran.
+    search_metrics: SearchMetrics,
 }
 
 /// Per-backend telemetry: how many characterizations the registry
@@ -219,6 +225,7 @@ impl Explorer {
             metrics: ExplorerMetrics::registered(registry),
             backends,
             backend_stats,
+            search_metrics: SearchMetrics::registered(registry),
         })
     }
 
@@ -701,8 +708,10 @@ impl Explorer {
 
     /// Hoisted per-benchmark-column invariants: the 350 K SRAM
     /// baseline's service time on each benchmark, the denominator of
-    /// every relative-latency cell in that column.
-    fn base_services(&self, benchmarks: &[Benchmark]) -> Vec<f64> {
+    /// every relative-latency cell in that column. `pub(crate)` for the
+    /// adaptive search, whose latency lower bounds divide by the same
+    /// terms.
+    pub(crate) fn base_services(&self, benchmarks: &[Benchmark]) -> Vec<f64> {
         benchmarks
             .iter()
             .map(|benchmark| service_time(&self.baseline, &benchmark.traffic))
@@ -756,9 +765,10 @@ impl Explorer {
 
     /// One configuration plane of the batched kernel, materialized as
     /// owned rows — the unit of work [`Explorer::execute_par`] fans
-    /// out. Same hoisting, same per-row arithmetic, same counter
-    /// accounting as [`Explorer::evaluate_plane_into`].
-    fn evaluate_plane_rows(
+    /// out (and the refinement unit of the adaptive search). Same
+    /// hoisting, same per-row arithmetic, same counter accounting as
+    /// [`Explorer::evaluate_plane_into`].
+    pub(crate) fn evaluate_plane_rows(
         &self,
         config: &MemoryConfig,
         benchmarks: &[Benchmark],
@@ -851,6 +861,96 @@ impl Explorer {
         let rows: Vec<LlcEvaluation> = planes.into_iter().flatten().collect();
         self.metrics.sweep_rows.add(rows.len() as u64);
         rows
+    }
+
+    /// Best-first branch-and-bound exploration of `configs` under the
+    /// full SPEC2017 suite: regions of the (technology × dies ×
+    /// temperature × organization) space are bounded from below on
+    /// power, latency, and area, pruned when the incumbent frontier
+    /// provably dominates them, and only the survivors are refined
+    /// through the batched plan/execute kernels.
+    ///
+    /// The returned frontier is byte-identical to
+    /// [`crate::pareto_front`] over the exhaustive sweep of the same
+    /// grid (screened by `constraints`), with auditable work-avoidance
+    /// statistics alongside; see the `coldtall_core::search` module
+    /// docs and `DESIGN.md` § 13 for the soundness argument.
+    ///
+    /// `region` is the caller's name for the searched space — it
+    /// surfaces only in the empty-region diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptySearchSpace`] if `configs` is empty, or
+    /// [`Error::NoBackend`] / [`Error::BackendConflict`] if some
+    /// configuration does not resolve to exactly one backend.
+    pub fn search(
+        &self,
+        region: &str,
+        configs: &[MemoryConfig],
+        constraints: &Constraints,
+    ) -> Result<SearchOutcome, Error> {
+        search::run(self, region, configs, constraints)
+    }
+
+    /// The adaptive search's telemetry handles.
+    pub(crate) fn search_metrics(&self) -> &SearchMetrics {
+        &self.search_metrics
+    }
+
+    /// The search's refinement-phase characterization of one plane:
+    /// probe the cache (counting the one hit or miss), and on a miss
+    /// dispatch a batch of one through the plane's backend — the same
+    /// two-phase lowering, geometry cache, and counter accounting as
+    /// one [`Explorer::characterize_group`] batch with a single job.
+    pub(crate) fn characterize_search_plane(
+        &self,
+        key: &DesignPointKey,
+        config: &MemoryConfig,
+        backend_index: usize,
+    ) {
+        self.metrics.characterize_calls.inc();
+        if self.cache.get(key).is_some() {
+            return;
+        }
+        let geometry_key = DesignPointKey::geometry_of(config);
+        let stats = &self.backend_stats[backend_index];
+        stats.characterizations.inc();
+        self.metrics.characterize_dispatches.inc();
+        let results = {
+            let _span = Span::enter(self.metrics.characterize_span.clone());
+            let _backend_span = Span::enter(stats.span.clone());
+            self.backends.backends()[backend_index].characterize_batch(
+                &geometry_key,
+                std::slice::from_ref(config),
+                &self.node,
+                self.objective,
+                &self.geometries,
+            )
+        };
+        assert_eq!(
+            results.len(),
+            1,
+            "backend '{}' returned {} results for a batch of 1",
+            self.backends.backends()[backend_index].name(),
+            results.len()
+        );
+        for result in results {
+            let _ = self.cache.insert(key, result);
+        }
+    }
+
+    /// Position of the named backend in this explorer's registry —
+    /// the search resolves each plan job's backend name once up front,
+    /// exactly as [`Explorer::geometry_groups`] does.
+    pub(crate) fn backend_position(&self, name: &str) -> usize {
+        self.backends
+            .backends()
+            .iter()
+            .position(|b| b.name() == name)
+            .unwrap_or_else(|| {
+                panic!("plan job resolved to backend '{name}', which this explorer does not hold")
+            })
     }
 }
 

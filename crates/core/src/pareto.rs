@@ -81,15 +81,181 @@ impl Constraints {
 
 /// Returns `true` if `a` dominates `b` in the (power, latency, area)
 /// minimization sense: no worse everywhere, strictly better somewhere.
+///
+/// The production paths work on [`coords_dominate`] directly; this row
+/// form remains as the test oracle for frontier membership.
+#[cfg(test)]
 #[must_use]
 fn dominates(a: &LlcEvaluation, b: &LlcEvaluation) -> bool {
-    let no_worse = a.relative_power <= b.relative_power
-        && a.relative_latency <= b.relative_latency
-        && a.footprint_mm2 <= b.footprint_mm2;
-    let better = a.relative_power < b.relative_power
-        || a.relative_latency < b.relative_latency
-        || a.footprint_mm2 < b.footprint_mm2;
+    coords_dominate(
+        &[a.relative_power, a.relative_latency, a.footprint_mm2],
+        &[b.relative_power, b.relative_latency, b.footprint_mm2],
+    )
+}
+
+/// Returns `true` if `a` dominates `b`: no worse than `b` everywhere,
+/// strictly better somewhere, in the minimization sense.
+fn coords_dominate(a: &[f64; 3], b: &[f64; 3]) -> bool {
+    let no_worse = a[0] <= b[0] && a[1] <= b[1] && a[2] <= b[2];
+    let better = a[0] < b[0] || a[1] < b[1] || a[2] < b[2];
     no_worse && better
+}
+
+/// One accepted point of a [`ParetoFrontier`]: its insertion sequence
+/// number, its objective coordinates, and the caller's payload.
+#[derive(Debug, Clone)]
+struct FrontierPoint<T> {
+    seq: usize,
+    coords: [f64; 3],
+    payload: T,
+}
+
+/// An incremental Pareto frontier over up to three minimized
+/// coordinates: insert points one at a time, and the structure keeps
+/// exactly the non-dominated (maximal) finite points seen so far.
+///
+/// Each insertion either bounces off an existing dominator, or lands
+/// and evicts every point the newcomer dominates. Because dominance is
+/// a strict partial order (transitive and irreflexive), the resident
+/// set after any insertion sequence is the set of maximal elements of
+/// everything inserted — independent of insertion order. That
+/// order-invariance is what lets the adaptive search (which visits
+/// design points in best-first order) and the exhaustive sweep (which
+/// visits them in grid order) produce the same frontier.
+///
+/// Payloads are built lazily via [`ParetoFrontier::insert_with`], so a
+/// rejected point costs three comparisons per resident and no clone.
+/// The `seq` number passed at insertion is the global tie-breaker:
+/// [`ParetoFrontier::into_sorted`] orders by `(coords[0], seq)`, which
+/// reproduces a *stable* sort by the first coordinate whenever `seq`
+/// follows the original row order.
+#[derive(Debug, Clone)]
+pub struct ParetoFrontier<T = LlcEvaluation> {
+    points: Vec<FrontierPoint<T>>,
+}
+
+impl<T> Default for ParetoFrontier<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ParetoFrontier<T> {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { points: Vec::new() }
+    }
+
+    /// Number of resident (mutually non-dominated) points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Offers a point; returns `true` if it joined the frontier.
+    ///
+    /// A point with any non-finite coordinate is rejected outright (a
+    /// `NaN`/`INF` coordinate can never be dominated, so admitting one
+    /// would seat it on the frontier forever). A point dominated by a
+    /// resident is rejected without building its payload. An accepted
+    /// point evicts every resident it dominates. Coordinate-equal
+    /// points do not dominate each other, so duplicates coexist until
+    /// [`ParetoFrontier::into_sorted`] deduplicates by label order.
+    pub fn insert_with(&mut self, seq: usize, coords: [f64; 3], make: impl FnOnce() -> T) -> bool {
+        if !coords.iter().all(|c| c.is_finite()) {
+            return false;
+        }
+        if self
+            .points
+            .iter()
+            .any(|p| coords_dominate(&p.coords, &coords))
+        {
+            return false;
+        }
+        self.points.retain(|p| !coords_dominate(&coords, &p.coords));
+        self.points.push(FrontierPoint {
+            seq,
+            coords,
+            payload: make(),
+        });
+        true
+    }
+
+    /// Whether some resident point is *strictly* below `corner` in all
+    /// three coordinates.
+    ///
+    /// This is the region-prune test of the adaptive search: if a
+    /// resident beats a region's componentwise lower-bound corner
+    /// strictly everywhere, it strictly dominates every member of the
+    /// region (member values are `>=` the corner coordinate by
+    /// coordinate), so no member can ever join the frontier. Weak
+    /// (`<=`) comparison would be unsound here — a coordinate-equal
+    /// member belongs *on* the frontier.
+    #[must_use]
+    pub fn strictly_dominates(&self, corner: [f64; 3]) -> bool {
+        self.points.iter().any(|p| {
+            p.coords[0] < corner[0] && p.coords[1] < corner[1] && p.coords[2] < corner[2]
+        })
+    }
+
+    /// The resident point minimizing coordinate `k`, ties broken by the
+    /// lowest insertion `seq` — the first-of-equal-minima semantics of
+    /// `Iterator::min_by` over the original insertion order. Returns
+    /// the point's `seq` and payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 3`.
+    #[must_use]
+    pub fn min_by_coord(&self, k: usize) -> Option<(usize, &T)> {
+        assert!(k < 3, "a frontier point has three coordinates");
+        self.points
+            .iter()
+            .min_by(|a, b| a.coords[k].total_cmp(&b.coords[k]).then(a.seq.cmp(&b.seq)))
+            .map(|p| (p.seq, &p.payload))
+    }
+
+    /// Iterates the resident points as `(seq, coords, payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, [f64; 3], &T)> {
+        self.points.iter().map(|p| (p.seq, p.coords, &p.payload))
+    }
+}
+
+impl ParetoFrontier<LlcEvaluation> {
+    /// Offers an evaluation under the standard (relative power,
+    /// relative latency, footprint) coordinates, cloning it only on
+    /// acceptance. Returns `true` if it joined the frontier.
+    pub fn insert(&mut self, seq: usize, eval: &LlcEvaluation) -> bool {
+        self.insert_with(
+            seq,
+            [eval.relative_power, eval.relative_latency, eval.footprint_mm2],
+            || eval.clone(),
+        )
+    }
+
+    /// Consumes the frontier into the classic presentation: ascending
+    /// relative power (ties in original `seq` order), one row per
+    /// configuration label.
+    ///
+    /// When every row of a set was offered with `seq` equal to its
+    /// original index, this is byte-identical to the historical
+    /// filter-at-the-end extraction: a stable sort by relative power
+    /// followed by consecutive-label deduplication.
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<LlcEvaluation> {
+        let mut points = self.points;
+        points.sort_by(|a, b| a.coords[0].total_cmp(&b.coords[0]).then(a.seq.cmp(&b.seq)));
+        let mut front: Vec<LlcEvaluation> = points.into_iter().map(|p| p.payload).collect();
+        front.dedup_by(|a, b| a.config_label == b.config_label);
+        front
+    }
 }
 
 /// Extracts the power/latency/area Pareto frontier of a set of
@@ -99,69 +265,63 @@ fn dominates(a: &LlcEvaluation, b: &LlcEvaluation) -> bool {
 /// Every objective must be finite for a row to be a frontier
 /// candidate: a non-finite power or area coordinate can never be
 /// dominated (`NaN` fails every `<=`), so filtering latency alone
-/// would seat such rows on the frontier forever.
+/// would seat such rows on the frontier forever. Implemented as one
+/// pass of [`ParetoFrontier`] insertions in row order; non-finite rows
+/// also cannot *dominate* a finite row (the `<=` fails), so skipping
+/// them at insertion changes nothing for the finite survivors.
 #[must_use]
 pub fn pareto_front(evals: &[LlcEvaluation]) -> Vec<LlcEvaluation> {
-    let finite = |e: &LlcEvaluation| {
-        e.relative_latency.is_finite()
-            && e.relative_power.is_finite()
-            && e.footprint_mm2.is_finite()
-    };
-    let mut front: Vec<LlcEvaluation> = evals
-        .iter()
-        .filter(|e| finite(e))
-        .filter(|candidate| !evals.iter().any(|other| dominates(other, candidate)))
-        .cloned()
-        .collect();
-    front.sort_by(|a, b| a.relative_power.total_cmp(&b.relative_power));
-    front.dedup_by(|a, b| a.config_label == b.config_label);
-    front
+    let mut frontier = ParetoFrontier::new();
+    for (seq, eval) in evals.iter().enumerate() {
+        frontier.insert(seq, eval);
+    }
+    frontier.into_sorted()
 }
 
 /// [`pareto_front`] straight off an [`EvalArena`]'s dense columns:
 /// dominance screening reads the power/latency/area columns in place
-/// and only the surviving frontier rows are materialized as
+/// and only rows accepted onto the frontier are materialized as
 /// [`LlcEvaluation`] values.
 ///
-/// Produces exactly `pareto_front(&arena.to_rows())` — same
-/// comparisons in the same order — without building the full row
-/// vector first.
+/// Produces exactly `pareto_front(&arena.to_rows())` without building
+/// the full row vector first.
 #[must_use]
 pub fn pareto_front_arena(arena: &EvalArena) -> Vec<LlcEvaluation> {
     let power = arena.relative_power();
     let latency = arena.relative_latency();
     let area = arena.footprint_mm2();
-    let finite =
-        |i: usize| power[i].is_finite() && latency[i].is_finite() && area[i].is_finite();
-    // Index form of `dominates`, over the same three objectives.
-    let dominates = |a: usize, b: usize| {
-        let no_worse =
-            power[a] <= power[b] && latency[a] <= latency[b] && area[a] <= area[b];
-        let better = power[a] < power[b] || latency[a] < latency[b] || area[a] < area[b];
-        no_worse && better
-    };
-    let mut front: Vec<LlcEvaluation> = (0..arena.rows())
-        .filter(|&candidate| finite(candidate))
-        .filter(|&candidate| !(0..arena.rows()).any(|other| dominates(other, candidate)))
-        .map(|candidate| arena.row(candidate))
-        .collect();
-    front.sort_by(|a, b| a.relative_power.total_cmp(&b.relative_power));
-    front.dedup_by(|a, b| a.config_label == b.config_label);
-    front
+    let mut frontier = ParetoFrontier::new();
+    for i in 0..arena.rows() {
+        frontier.insert_with(i, [power[i], latency[i], area[i]], || arena.row(i));
+    }
+    frontier.into_sorted()
 }
 
 /// Recommends the lowest-power configuration satisfying `constraints`
 /// for the given pre-computed evaluations, or `None` when nothing
 /// qualifies.
+///
+/// Re-ranks through the incremental frontier in degenerate one-axis
+/// form — coordinates `(relative_power, 0, 0)`, so a strictly cheaper
+/// satisfier evicts and equal-power satisfiers coexist — then takes
+/// the minimum by `(power, seq)`. This is exactly the
+/// first-of-equal-minima semantics of the historical
+/// `filter().min_by()` scan. Constraint screening happens *before*
+/// insertion because lifetime is a constraint, not a frontier
+/// coordinate: a constraint-violating row must never evict a
+/// satisfier.
 #[must_use]
 pub fn recommend<'a>(
     evals: &'a [LlcEvaluation],
     constraints: &Constraints,
 ) -> Option<&'a LlcEvaluation> {
-    evals
-        .iter()
-        .filter(|e| constraints.satisfied_by(e))
-        .min_by(|a, b| a.relative_power.total_cmp(&b.relative_power))
+    let mut frontier: ParetoFrontier<()> = ParetoFrontier::new();
+    for (seq, eval) in evals.iter().enumerate() {
+        if constraints.satisfied_by(eval) {
+            frontier.insert_with(seq, [eval.relative_power, 0.0, 0.0], || ());
+        }
+    }
+    frontier.min_by_coord(0).map(|(seq, ())| &evals[seq])
 }
 
 #[cfg(test)]

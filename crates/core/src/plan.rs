@@ -366,6 +366,17 @@ impl ExecutionPlan {
     pub fn rows(&self) -> usize {
         self.configs.len() * self.benchmarks.len()
     }
+
+    /// The deduplicated job serving `key`, if the plan compiled one.
+    ///
+    /// Every configuration of a compiled plan has exactly one job under
+    /// its [`DesignPointKey::of_config`] key; the adaptive search uses
+    /// this to route a single surviving plane to the backend the plan
+    /// already resolved and validated.
+    #[must_use]
+    pub fn job_for(&self, key: &DesignPointKey) -> Option<&CharacterizationJob> {
+        self.jobs.iter().find(|job| job.key() == key)
+    }
 }
 
 #[cfg(test)]

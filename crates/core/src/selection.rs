@@ -8,6 +8,7 @@ use crate::batch::EvalArena;
 use crate::config::MemoryConfig;
 use crate::explorer::Explorer;
 use crate::lifetime::LIFETIME_TARGET_YEARS;
+use crate::pareto::ParetoFrontier;
 
 /// The optimization goal of one Table II column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,19 +121,20 @@ fn choose_for(
     target: DesignTarget,
 ) -> OptimalChoice {
     // Per benchmark: rank configurations by the target score, read off
-    // the arena's dense columns.
+    // the arena's dense columns. The ranking is a degenerate 1-D
+    // incremental frontier — score as the only live coordinate, config
+    // index as the sequence number — so a strictly lower score evicts,
+    // equal scores coexist, non-finite scores are rejected at insert,
+    // and the `(score, seq)` minimum is exactly the first-of-equal
+    // minima a stable sort would put first.
     let mut first_counts: HashMap<String, usize> = HashMap::new();
     for &bi in bench_indices {
-        let mut ranked: Vec<usize> = (0..configs.len())
-            .filter(|&c| target.score_at(arena, arena.row_index(c, bi)).is_finite())
-            .collect();
-        ranked.sort_by(|&a, &b| {
-            target
-                .score_at(arena, arena.row_index(a, bi))
-                .partial_cmp(&target.score_at(arena, arena.row_index(b, bi)))
-                .expect("finite scores")
-        });
-        if let Some(&first) = ranked.first() {
+        let mut ranked: ParetoFrontier<()> = ParetoFrontier::new();
+        for c in 0..configs.len() {
+            let score = target.score_at(arena, arena.row_index(c, bi));
+            ranked.insert_with(c, [score, 0.0, 0.0], || ());
+        }
+        if let Some((first, ())) = ranked.min_by_coord(0) {
             *first_counts
                 .entry(arena.config_labels()[first].clone())
                 .or_default() += 1;
@@ -157,17 +159,14 @@ fn choose_for(
         }
         let mut counts: HashMap<String, usize> = HashMap::new();
         for &bi in bench_indices {
-            let best = others
-                .iter()
-                .copied()
-                .filter(|&c| target.score_at(arena, arena.row_index(c, bi)).is_finite())
-                .min_by(|&a, &b| {
-                    target
-                        .score_at(arena, arena.row_index(a, bi))
-                        .partial_cmp(&target.score_at(arena, arena.row_index(b, bi)))
-                        .expect("finite scores")
-                });
-            if let Some(best) = best {
+            // Same degenerate 1-D frontier ranking as the winner pass,
+            // restricted to the other solution classes.
+            let mut ranked: ParetoFrontier<()> = ParetoFrontier::new();
+            for &c in &others {
+                let score = target.score_at(arena, arena.row_index(c, bi));
+                ranked.insert_with(c, [score, 0.0, 0.0], || ());
+            }
+            if let Some((best, ())) = ranked.min_by_coord(0) {
                 *counts
                     .entry(arena.config_labels()[best].clone())
                     .or_default() += 1;

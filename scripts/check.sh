@@ -22,6 +22,13 @@ cargo test -q --test batch perf_smoke
 # per-row loop (interleaved median timing, so a one-off scheduler
 # hiccup lands on both sides alike).
 cargo test -q --test eval_batch perf_smoke
+# The adaptive-search gates: the branch-and-bound frontier must be
+# bit-identical to the exhaustive extraction (at 1 and 4 pool threads,
+# under every constraint combination), and the search must provably
+# avoid work — points skipped > 0 with strictly fewer evaluations than
+# the grid holds. Counter-based, never wall-clock.
+cargo test -q --test search matches_exhaustive
+cargo test -q --test search perf_smoke
 cargo clippy --workspace --all-targets -- -D warnings
 # Documentation is part of the API surface: a broken intra-doc link or
 # an undocumented public item on the strict modules fails the gate.

@@ -65,6 +65,20 @@ fn main() -> ExitCode {
         "table2" => Options::parse(&args[1..], &[]).and_then(|_| cmd_table2()),
         "backends" => Options::parse(&args[1..], &[]).and_then(|_| cmd_backends()),
         "sweep" => Options::parse(&args[1..], &[]).and_then(|_| cmd_sweep()),
+        "search" => Options::parse(
+            &args[1..],
+            &[
+                "tech",
+                "dies",
+                "temps",
+                "objective",
+                "max-latency",
+                "max-area",
+                "min-lifetime",
+                "max-power",
+            ],
+        )
+        .and_then(|opts| cmd_search(&opts)),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -104,6 +118,7 @@ fn print_usage() {
          \x20 recommend       lowest-power viable choice for a benchmark\n\
          \x20 table2          the optimal-LLC summary table\n\
          \x20 sweep           the full study sweep, summarized per configuration\n\
+         \x20 search          adaptive branch-and-bound Pareto search of the study space\n\
          \x20 backends        the characterization backends and their capabilities\n\
          \n\
          DESIGN-POINT OPTIONS:\n\
@@ -114,7 +129,18 @@ fn print_usage() {
          \n\
          OTHER OPTIONS:\n\
          \x20 --bench <name>                     benchmark (default namd)\n\
-         \x20 --max-area <mm2>                   area constraint for recommend\n\
+         \x20 --max-area <mm2>                   area constraint for recommend/search\n\
+         \n\
+         SEARCH OPTIONS:\n\
+         \x20 --tech <name>                      restrict the region to one technology\n\
+         \x20 --dies <1|2|4|8>                   restrict the region to one die count\n\
+         \x20 --temps <study|kelvin>             expand over the study's 8 temperatures,\n\
+         \x20                                    or re-pin the region to one temperature\n\
+         \x20 --objective <power|latency|area>   also report the frontier point\n\
+         \x20                                    minimizing this coordinate\n\
+         \x20 --max-latency <x>                  relative-latency cap\n\
+         \x20 --max-power <x>                    relative-power cap\n\
+         \x20 --min-lifetime <years>             endurance floor\n\
          \x20 --backend <cryomem|destiny>        pin the characterization backend;\n\
          \x20                                    errors if it is not the one the\n\
          \x20                                    registry resolves for the point\n\
@@ -398,6 +424,144 @@ fn cmd_sweep() -> Result<(), String> {
         benchmarks,
         explorer.cached_characterizations()
     );
+    Ok(())
+}
+
+fn cmd_search(opts: &Options) -> Result<(), String> {
+    // The region: the study set, narrowed by --tech/--dies, optionally
+    // expanded over (or re-pinned to) temperatures. Filters that match
+    // nothing are a typed empty-region error, never an empty report.
+    let mut configs = MemoryConfig::study_set();
+    let mut region = vec!["study".to_string()];
+    if let Some(name) = opts.get("tech") {
+        let tech = MemoryConfig::parse_technology(name).map_err(|e| e.to_string())?;
+        configs.retain(|c| c.technology() == tech);
+        region.push(name.to_string());
+    }
+    if let Some(dies) = opts.get("dies") {
+        let dies: u8 = dies.parse().map_err(|_| "bad --dies value".to_string())?;
+        MemoryConfig::validate_dies(dies).map_err(|e| format!("--dies: {e}"))?;
+        configs.retain(|c| c.dies() == dies);
+        region.push(format!("{dies} dies"));
+    }
+    match opts.get("temps") {
+        None => {}
+        Some("study") => {
+            configs = configs
+                .iter()
+                .flat_map(|c| {
+                    coldtall::cryo::study_temperatures()
+                        .iter()
+                        .map(|&t| c.clone().at_temperature(t))
+                })
+                .collect();
+            region.push("study temperatures".to_string());
+        }
+        Some(t) => {
+            let kelvin: f64 = t.parse().map_err(|_| "bad --temps value".to_string())?;
+            if !(60.0..=400.0).contains(&kelvin) {
+                return Err("--temps must be 'study' or between 60 and 400 kelvin".into());
+            }
+            let kelvin = Kelvin::try_new(kelvin).map_err(|e| e.to_string())?;
+            configs = configs
+                .iter()
+                .map(|c| c.clone().at_temperature(kelvin))
+                .collect();
+            region.push(format!("{t} K"));
+        }
+    }
+    let objective = match opts.get("objective") {
+        None => None,
+        Some("power") => Some(0),
+        Some("latency") => Some(1),
+        Some("area") => Some(2),
+        Some(other) => {
+            return Err(format!(
+                "unknown objective '{other}' (expected power, latency, or area)"
+            ))
+        }
+    };
+    let mut constraints = Constraints::none();
+    if let Some(v) = opts.get("max-latency") {
+        constraints.max_relative_latency =
+            v.parse().map_err(|_| "bad --max-latency value".to_string())?;
+    }
+    if let Some(v) = opts.get("max-area") {
+        constraints.max_area_mm2 =
+            Some(v.parse().map_err(|_| "bad --max-area value".to_string())?);
+    }
+    if let Some(v) = opts.get("min-lifetime") {
+        constraints.min_lifetime_years =
+            v.parse().map_err(|_| "bad --min-lifetime value".to_string())?;
+    }
+    if let Some(v) = opts.get("max-power") {
+        constraints.max_relative_power =
+            Some(v.parse().map_err(|_| "bad --max-power value".to_string())?);
+    }
+
+    let region = region.join(" x ");
+    let explorer = Explorer::with_defaults();
+    let outcome = explorer
+        .search(&region, &configs, &constraints)
+        .map_err(|e| e.to_string())?;
+    if outcome.frontier.is_empty() {
+        return Err(format!(
+            "no design point in region '{region}' is feasible under the given constraints"
+        ));
+    }
+
+    let mut table = TextTable::new(&[
+        "configuration",
+        "benchmark",
+        "rel_power",
+        "rel_latency",
+        "area_mm2",
+    ]);
+    for row in &outcome.frontier {
+        table.row_owned(vec![
+            row.config_label.clone(),
+            row.benchmark.to_string(),
+            sci(row.relative_power),
+            sci(row.relative_latency),
+            format!("{:.2}", row.footprint_mm2),
+        ]);
+    }
+    print!("{}", table.render());
+    let stats = outcome.stats;
+    println!(
+        "\n{} frontier points over {} rows: {} evaluated, {} skipped ({} infeasible, {} pruned)",
+        outcome.frontier.len(),
+        stats.rows_total,
+        stats.points_evaluated,
+        stats.points_skipped,
+        stats.skipped_infeasible,
+        stats.skipped_pruned
+    );
+    println!(
+        "regions: {} expanded, {} refined, {} pruned; {} plane bounds computed",
+        stats.regions_expanded, stats.regions_refined, stats.regions_pruned, stats.bounds_computed
+    );
+    if let Some(k) = objective {
+        let coord = |row: &coldtall::core::LlcEvaluation| match k {
+            0 => row.relative_power,
+            1 => row.relative_latency,
+            _ => row.footprint_mm2,
+        };
+        let best = outcome
+            .frontier
+            .iter()
+            .min_by(|a, b| coord(a).total_cmp(&coord(b)))
+            .expect("the frontier was checked non-empty");
+        println!(
+            "best by {}: {} on {} (rel_power {}, rel_latency {}, {:.2} mm^2)",
+            ["power", "latency", "area"][k],
+            best.config_label,
+            best.benchmark,
+            sci(best.relative_power),
+            sci(best.relative_latency),
+            best.footprint_mm2
+        );
+    }
     Ok(())
 }
 

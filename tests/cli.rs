@@ -149,6 +149,74 @@ fn sweep_summarizes_the_full_study() {
 }
 
 #[test]
+fn search_reports_the_frontier_and_work_avoidance() {
+    let (ok, out, _) = run(&["search", "--objective", "power"]);
+    assert!(ok);
+    assert!(out.contains("frontier points over 713 rows"), "search summary: {out}");
+    assert!(out.contains("skipped ("), "work-avoidance accounting: {out}");
+    assert!(out.contains("best by power:"), "objective pick: {out}");
+    // The study set holds a refresh-dead plane (350 K 3T-eDRAM), so
+    // the search must report a nonzero skip count.
+    assert!(
+        !out.contains(" 0 skipped ("),
+        "the search must provably skip points on the study set: {out}"
+    );
+}
+
+#[test]
+fn search_constraint_caps_parse_and_screen() {
+    let (ok, out, _) = run(&[
+        "search",
+        "--max-latency",
+        "1.0",
+        "--max-area",
+        "5",
+        "--objective",
+        "area",
+    ]);
+    assert!(ok);
+    assert!(out.contains("best by area:"), "objective pick: {out}");
+    assert!(
+        !out.contains("3T-eDRAM"),
+        "a 5 mm^2 area cap excludes the 7.54 mm^2 cryogenic eDRAM: {out}"
+    );
+}
+
+#[test]
+fn search_rejects_bad_regions_objectives_and_flags() {
+    // Unknown objective names are typed errors, not defaults.
+    let (ok, _, err) = run(&["search", "--objective", "speed"]);
+    assert!(!ok);
+    assert!(err.contains("unknown objective 'speed'"), "stderr: {err}");
+
+    // A region filter matching nothing is an empty-region error.
+    let (ok, _, err) = run(&["search", "--tech", "edram", "--dies", "8"]);
+    assert!(!ok);
+    assert!(err.contains("contains no design points"), "stderr: {err}");
+
+    // An infeasible-everywhere region is a clean error, not a panic
+    // or an empty table.
+    let (ok, _, err) = run(&["search", "--tech", "edram", "--temps", "350"]);
+    assert!(!ok);
+    assert!(err.contains("is feasible"), "stderr: {err}");
+
+    // The strict option grammar applies: unknown flags, missing
+    // values, duplicates, and stray positionals are all refused.
+    let (ok, _, err) = run(&["search", "--objectiv", "power"]);
+    assert!(!ok);
+    assert!(err.contains("unknown option '--objectiv'"), "stderr: {err}");
+    let (ok, _, err) = run(&["search", "--temps"]);
+    assert!(!ok);
+    assert!(err.contains("missing value for '--temps'"), "stderr: {err}");
+    let (ok, _, err) = run(&["search", "--dies=2", "--dies", "4"]);
+    assert!(!ok);
+    assert!(err.contains("duplicate option '--dies'"), "stderr: {err}");
+    let (ok, _, err) = run(&["search", "study"]);
+    assert!(!ok);
+    assert!(err.contains("unexpected argument 'study'"), "stderr: {err}");
+}
+
+#[test]
 fn metrics_are_absent_by_default() {
     let (ok, _, err) = run(&["list"]);
     assert!(ok);

@@ -88,6 +88,24 @@ fn hostile_cli_arguments_never_panic() {
         &["recommend", "--backend", "destiny"],
         &["backends", "--tech", "sram"],
         &["backends", "extra-positional"],
+        // Adaptive search: unknown objective names, region filters
+        // that match nothing, an infeasible-everywhere region (every
+        // plane refresh-dead at 350 K), malformed numeric caps, and
+        // structural flag abuse.
+        &["search", "--objective", "speed"],
+        &["search", "--objective", "POWER"],
+        &["search", "--objective", ""],
+        &["search", "--tech", "edram", "--dies", "8"],
+        &["search", "--tech", "flash"],
+        &["search", "--tech", "edram", "--temps", "350"],
+        &["search", "--temps", "banana"],
+        &["search", "--temps", "500"],
+        &["search", "--dies", "3"],
+        &["search", "--max-latency", "abc"],
+        &["search", "--max-power"],
+        &["search", "--bench", "namd"],
+        &["search", "extra-positional"],
+        &["search", "--objective=power", "--objective", "area"],
     ];
     for args in cases {
         assert_graceful_failure(args);
