@@ -150,6 +150,66 @@ impl MemoryConfig {
         }
     }
 
+    /// Parses a tentpole name as the frontends spell them:
+    /// `optimistic`/`opt` or `pessimistic`/`pess`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::UnknownTentpole`] for anything else.
+    pub fn parse_tentpole(name: &str) -> Result<Tentpole, crate::Error> {
+        match name {
+            "optimistic" | "opt" => Ok(Tentpole::Optimistic),
+            "pessimistic" | "pess" => Ok(Tentpole::Pessimistic),
+            other => Err(crate::Error::UnknownTentpole {
+                name: other.to_string(),
+            }),
+        }
+    }
+
+    /// Builds a design point from frontend-style raw fields — the
+    /// typed equivalent of the CLI's flag parsing, shared by the serve
+    /// protocol so both frontends accept the same space.
+    ///
+    /// eNVM technologies take any tentpole, die count, and
+    /// temperature. Volatile technologies (SRAM, 3T-eDRAM) are 2D at
+    /// any temperature; stacked volatile points are modeled only at
+    /// the 350 K reference (the study's 2/4/8-die SRAM points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::UnknownTechnology`],
+    /// [`crate::Error::UnknownTentpole`],
+    /// [`crate::Error::InvalidDieCount`], or
+    /// [`crate::Error::UnsupportedPoint`] (stacked volatile off the
+    /// 350 K reference).
+    pub fn try_design_point(
+        tech: &str,
+        tentpole: &str,
+        dies: u8,
+        temperature: Kelvin,
+    ) -> Result<Self, crate::Error> {
+        let technology = Self::parse_technology(tech)?;
+        let tentpole = Self::parse_tentpole(tentpole)?;
+        Self::validate_dies(dies)?;
+        if technology.is_nonvolatile() {
+            Ok(Self::try_envm_3d(technology, tentpole, dies)?.at_temperature(temperature))
+        } else if dies == 1 {
+            Ok(Self::volatile_2d(technology, temperature))
+        } else if temperature == Kelvin::REFERENCE {
+            Self::try_envm_3d(technology, tentpole, dies)
+        } else {
+            Err(crate::Error::UnsupportedPoint {
+                reason: format!(
+                    "{}-die {} at {:.0} K: volatile stacks are modeled at the 350 K \
+                     reference only",
+                    dies,
+                    technology.name(),
+                    temperature.get()
+                ),
+            })
+        }
+    }
+
     /// Replaces the operating temperature.
     #[must_use]
     pub fn at_temperature(mut self, t: Kelvin) -> Self {
@@ -326,6 +386,61 @@ mod tests {
         let ok = MemoryConfig::try_envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, 8)
             .unwrap();
         assert_eq!(ok, MemoryConfig::envm_3d(MemoryTechnology::Pcm, Tentpole::Optimistic, 8));
+    }
+
+    #[test]
+    fn try_design_point_covers_the_study_space() {
+        // Every study configuration must be reachable through the
+        // raw-field constructor the serve frontend uses.
+        for config in MemoryConfig::study_set() {
+            let tech = match config.technology() {
+                MemoryTechnology::Sram => "sram",
+                MemoryTechnology::Edram3T => "edram",
+                MemoryTechnology::Pcm => "pcm",
+                MemoryTechnology::SttRam => "stt",
+                MemoryTechnology::Rram => "rram",
+                other => panic!("study set grew an unexpected technology {other:?}"),
+            };
+            let tentpole = match config.tentpole() {
+                Tentpole::Optimistic => "optimistic",
+                Tentpole::Pessimistic => "pessimistic",
+            };
+            let rebuilt = MemoryConfig::try_design_point(
+                tech,
+                tentpole,
+                config.dies(),
+                config.temperature(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", config.label()));
+            assert_eq!(rebuilt, config);
+        }
+    }
+
+    #[test]
+    fn try_design_point_rejects_out_of_scope_combinations() {
+        assert!(matches!(
+            MemoryConfig::try_design_point("flash", "optimistic", 1, Kelvin::REFERENCE),
+            Err(crate::Error::UnknownTechnology { .. })
+        ));
+        assert!(matches!(
+            MemoryConfig::try_design_point("sram", "hopeful", 1, Kelvin::REFERENCE),
+            Err(crate::Error::UnknownTentpole { name }) if name == "hopeful"
+        ));
+        assert!(matches!(
+            MemoryConfig::try_design_point("pcm", "opt", 3, Kelvin::REFERENCE),
+            Err(crate::Error::InvalidDieCount { dies: 3 })
+        ));
+        // Stacked volatile off the 350 K reference is out of scope...
+        let err = MemoryConfig::try_design_point("sram", "opt", 4, Kelvin::LN2).unwrap_err();
+        assert!(matches!(err, crate::Error::UnsupportedPoint { .. }));
+        assert!(err.to_string().contains("350 K"));
+        // ...but at the reference it is the study's stacked-SRAM point.
+        let stacked =
+            MemoryConfig::try_design_point("sram", "opt", 4, Kelvin::REFERENCE).unwrap();
+        assert_eq!(
+            stacked,
+            MemoryConfig::envm_3d(MemoryTechnology::Sram, Tentpole::Optimistic, 4)
+        );
     }
 
     #[test]

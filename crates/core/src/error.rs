@@ -94,6 +94,29 @@ pub enum Error {
         /// Description of the empty region as the caller named it.
         region: String,
     },
+    /// A tentpole name that is neither `optimistic` nor `pessimistic`.
+    UnknownTentpole {
+        /// The unrecognized name as supplied.
+        name: String,
+    },
+    /// A field combination the exploration deliberately does not model
+    /// (for example, a stacked volatile cache at a cryogenic
+    /// temperature). The individual fields are each valid; the
+    /// combination is out of scope.
+    UnsupportedPoint {
+        /// Why the combination is out of scope.
+        reason: String,
+    },
+    /// A request ran past the per-request deadline its caller set.
+    /// Raised by the serve frontend's [`crate::RequestHandler`], which
+    /// checks the budget between pipeline stages — work already
+    /// dispatched is finished (and cached), not torn down.
+    DeadlineExceeded {
+        /// Milliseconds actually elapsed when the check fired.
+        elapsed_ms: u64,
+        /// The caller's budget in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -128,6 +151,20 @@ impl fmt::Display for Error {
             Self::EmptySearchSpace { region } => {
                 write!(f, "the search region '{region}' contains no design points")
             }
+            Self::UnknownTentpole { name } => write!(
+                f,
+                "unknown tentpole '{name}' (expected optimistic or pessimistic)"
+            ),
+            Self::UnsupportedPoint { reason } => {
+                write!(f, "unsupported design point: {reason}")
+            }
+            Self::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "request deadline exceeded: {elapsed_ms} ms elapsed against a {budget_ms} ms budget"
+            ),
         }
     }
 }

@@ -19,7 +19,7 @@ use crate::config::MemoryConfig;
 use crate::error::Error;
 use crate::evaluate::{device_power, row_values, service_time, LlcEvaluation};
 use crate::lifetime::lifetime_years;
-use crate::parcache::{CacheMetrics, GeometryCache, ShardedCache};
+use crate::parcache::{CacheConfig, CacheMetrics, GeometryCache, ShardedCache};
 use crate::pareto::Constraints;
 use crate::plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 use crate::pool;
@@ -198,6 +198,33 @@ impl Explorer {
         backends: BackendRegistry,
         registry: &Registry,
     ) -> Result<Self, Error> {
+        Self::try_with_backends_configured(
+            node,
+            objective,
+            backends,
+            registry,
+            &CacheConfig::from_env().0,
+        )
+    }
+
+    /// [`Explorer::try_with_backends`] with explicit cache knobs
+    /// instead of the environment defaults.
+    ///
+    /// Long-running hosts (the serve daemon) construct their explorers
+    /// through this path so a logical restart can change the detail
+    /// export and admission cap without touching process-global state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoBackend`] / [`Error::BackendConflict`] if the
+    /// baseline configuration does not resolve to exactly one backend.
+    pub fn try_with_backends_configured(
+        node: ProcessNode,
+        objective: Objective,
+        backends: BackendRegistry,
+        registry: &Registry,
+        cache_config: &CacheConfig,
+    ) -> Result<Self, Error> {
         let backend_stats: Vec<BackendStats> = backends
             .backends()
             .iter()
@@ -218,8 +245,11 @@ impl Explorer {
         Ok(Self {
             node,
             objective,
-            cache: ShardedCache::with_metrics(CacheMetrics::registered(registry, "cache")),
-            geometries: GeometryCache::registered(registry),
+            cache: ShardedCache::with_metrics_and_cap(
+                CacheMetrics::registered_with_config(registry, "cache", cache_config),
+                cache_config.capacity,
+            ),
+            geometries: GeometryCache::registered_with_config(registry, cache_config),
             baseline,
             reference_power,
             metrics: ExplorerMetrics::registered(registry),
@@ -265,6 +295,27 @@ impl Explorer {
     #[must_use]
     pub fn cache_metrics(&self) -> &CacheMetrics {
         self.cache.metrics()
+    }
+
+    /// A point-in-time snapshot of every memoized characterization,
+    /// sorted by canonical key. This is what the serve frontend's run
+    /// registry persists: the pairs round-trip bit-identically through
+    /// [`Explorer::import_characterization`].
+    #[must_use]
+    pub fn cached_entries(&self) -> Vec<(DesignPointKey, ArrayCharacterization)> {
+        self.cache.snapshot()
+    }
+
+    /// Publishes an externally produced characterization (a run-registry
+    /// replay) into the memo cache without counting a probe. First
+    /// publication wins, exactly like a worker's publish; one insert is
+    /// counted only if the entry lands.
+    pub fn import_characterization(
+        &self,
+        key: &DesignPointKey,
+        value: ArrayCharacterization,
+    ) -> ArrayCharacterization {
+        self.cache.insert(key, value)
     }
 
     /// The geometry cache feeding the batched execution paths.

@@ -52,6 +52,7 @@ mod parcache;
 mod pareto;
 mod plan;
 pub mod pool;
+mod request;
 mod search;
 pub mod report;
 pub mod selection;
@@ -69,8 +70,9 @@ pub use evaluate::{Feasibility, LlcEvaluation};
 pub use explorer::Explorer;
 pub use plan::{CharacterizationJob, DesignPointKey, ExecutionPlan, KeyedJobs, SweepPlan};
 pub use hybrid::HybridLlc;
-pub use parcache::{CacheMetrics, GeometryCache, ShardedCache};
+pub use parcache::{CacheConfig, CacheMetrics, GeometryCache, ShardedCache};
 pub use pareto::{pareto_front, pareto_front_arena, recommend, Constraints, ParetoFrontier};
+pub use request::{DesignPoint, Request, RequestHandler, ResponsePayload, StatusReport};
 pub use search::{PruneReason, PrunedRegion, SearchOutcome, SearchStats};
 pub use thermal_schedule::{phase_evaluation, plan_schedule, TemperatureSchedule, WorkloadPhase};
 pub use variation::{monte_carlo, sample_cells, MetricBand, VariationSummary};

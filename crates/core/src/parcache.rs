@@ -32,22 +32,71 @@
 //! counters that no exporter ever reads.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use coldtall_array::OrgGeometry;
-use coldtall_obs::{Counter, Registry};
+use coldtall_obs::{Counter, Gauge, Registry};
 
 use crate::plan::DesignPointKey;
 
-/// Whether `COLDTALL_METRICS_DETAIL=1` opted the process into
-/// exporting per-stripe cache counters. Read once; the first cache
-/// construction pins the verdict for the process lifetime, matching
-/// how `COLDTALL_THREADS` is handled.
-fn detail_enabled() -> bool {
-    static DETAIL: OnceLock<bool> = OnceLock::new();
-    *DETAIL.get_or_init(|| {
-        std::env::var("COLDTALL_METRICS_DETAIL").is_ok_and(|v| v == "1")
-    })
+/// Explicit cache-construction knobs, decoupled from the process
+/// environment.
+///
+/// One-shot CLI runs read the environment once per construction via
+/// [`CacheConfig::from_env`]; long-running hosts (the serve daemon)
+/// build a `CacheConfig` from their own flags and thread it through
+/// the configured explorer constructors, so a logical restart can
+/// change the settings — the previous `OnceLock` latch made the first
+/// read permanent for the process lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Export per-stripe cache counters (48 extra names per cache).
+    pub detail: bool,
+    /// Admission cap: maximum entries a cache will hold across all
+    /// stripes. `None` (the default) leaves growth unbounded.
+    pub capacity: Option<usize>,
+}
+
+impl CacheConfig {
+    /// Builds a config from raw setting strings, returning the config
+    /// alongside human-readable warnings for every ignored invalid
+    /// value. Pure: reads nothing from the environment and prints
+    /// nothing, so hosts decide where warnings go.
+    ///
+    /// `detail` enables per-stripe counters only for the exact string
+    /// `"1"`. `capacity` must parse as a positive integer; anything
+    /// else is ignored with a warning and leaves the cache unbounded.
+    #[must_use]
+    pub fn parse(detail: Option<&str>, capacity: Option<&str>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        let detail = detail.is_some_and(|v| v == "1");
+        let capacity = match capacity {
+            None => None,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(cap) if cap > 0 => Some(cap),
+                _ => {
+                    warnings.push(format!(
+                        "warning: ignoring invalid COLDTALL_CACHE_CAP={raw:?} (expected a \
+                         positive integer); leaving the cache unbounded instead"
+                    ));
+                    None
+                }
+            },
+        };
+        (Self { detail, capacity }, warnings)
+    }
+
+    /// Reads `COLDTALL_METRICS_DETAIL` and `COLDTALL_CACHE_CAP` fresh
+    /// from the environment (no latching) and returns the parsed
+    /// config plus any warnings. The caller decides whether and where
+    /// to surface the warnings; this crate never prints.
+    #[must_use]
+    pub fn from_env() -> (Self, Vec<String>) {
+        let detail = std::env::var("COLDTALL_METRICS_DETAIL").ok();
+        let capacity = std::env::var("COLDTALL_CACHE_CAP").ok();
+        Self::parse(detail.as_deref(), capacity.as_deref())
+    }
 }
 
 /// Number of lock stripes. A small power of two keeps the modulo cheap
@@ -78,6 +127,9 @@ pub struct CacheMetrics {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     inserts: Arc<Counter>,
+    rejected: Arc<Counter>,
+    entries: Arc<Gauge>,
+    approx_bytes: Arc<Gauge>,
     stripes: Vec<StripeMetrics>,
 }
 
@@ -95,7 +147,7 @@ impl CacheMetrics {
     /// regardless of the environment.
     #[must_use]
     pub fn registered(registry: &Registry, prefix: &str) -> Self {
-        Self::registered_with_detail(registry, prefix, detail_enabled())
+        Self::registered_with_detail(registry, prefix, CacheConfig::from_env().0.detail)
     }
 
     /// [`CacheMetrics::registered`] with the per-stripe counters
@@ -106,11 +158,21 @@ impl CacheMetrics {
         Self::registered_with_detail(registry, prefix, true)
     }
 
+    /// [`CacheMetrics::registered`] driven by an explicit
+    /// [`CacheConfig`] instead of the environment.
+    #[must_use]
+    pub fn registered_with_config(registry: &Registry, prefix: &str, config: &CacheConfig) -> Self {
+        Self::registered_with_detail(registry, prefix, config.detail)
+    }
+
     fn registered_with_detail(registry: &Registry, prefix: &str, detail: bool) -> Self {
         Self {
             hits: registry.counter(&format!("{prefix}.hits")),
             misses: registry.counter(&format!("{prefix}.misses")),
             inserts: registry.counter(&format!("{prefix}.inserts")),
+            rejected: registry.counter(&format!("{prefix}.rejected")),
+            entries: registry.gauge(&format!("{prefix}.entries")),
+            approx_bytes: registry.gauge(&format!("{prefix}.approx_bytes")),
             stripes: (0..SHARDS)
                 .map(|i| {
                     if detail {
@@ -141,6 +203,9 @@ impl CacheMetrics {
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             inserts: Arc::new(Counter::new()),
+            rejected: Arc::new(Counter::new()),
+            entries: Arc::new(Gauge::new()),
+            approx_bytes: Arc::new(Gauge::new()),
             stripes: (0..SHARDS)
                 .map(|_| StripeMetrics {
                     hits: Arc::new(Counter::new()),
@@ -184,6 +249,28 @@ impl CacheMetrics {
         self.inserts.get()
     }
 
+    /// Total publications the admission cap refused. Always zero on an
+    /// unbounded cache.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Current entry count as last published to the `.entries` gauge.
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries.get()
+    }
+
+    /// Estimated resident bytes as last published to the
+    /// `.approx_bytes` gauge (canonical key string plus the key and
+    /// value struct sizes per entry; heap indirection inside `V` is
+    /// not followed).
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes.get()
+    }
+
     /// `(hits, misses, inserts)` of one stripe.
     ///
     /// # Panics
@@ -205,6 +292,13 @@ impl CacheMetrics {
 pub struct ShardedCache<V> {
     shards: Vec<RwLock<HashMap<DesignPointKey, V>>>,
     metrics: CacheMetrics,
+    /// Admission cap over all stripes; `None` is unbounded. The count
+    /// is read outside the stripe being written, so concurrent inserts
+    /// on different stripes can overshoot by at most the worker count —
+    /// the cap bounds growth, it is not an exact high-water mark.
+    cap: Option<usize>,
+    entry_count: AtomicUsize,
+    byte_estimate: AtomicUsize,
 }
 
 impl<V: Clone> ShardedCache<V> {
@@ -215,13 +309,38 @@ impl<V: Clone> ShardedCache<V> {
         Self::with_metrics(CacheMetrics::unregistered())
     }
 
-    /// Creates an empty cache reporting through `metrics`.
+    /// Creates an empty unbounded cache reporting through `metrics`.
     #[must_use]
     pub fn with_metrics(metrics: CacheMetrics) -> Self {
+        Self::with_metrics_and_cap(metrics, None)
+    }
+
+    /// Creates an empty cache reporting through `metrics` that admits
+    /// at most `cap` entries (`None` for unbounded).
+    ///
+    /// Once full, further publications are *refused*, not evicted: the
+    /// computed value is still returned to the caller (correctness is
+    /// unaffected), the `.rejected` counter increments, and no insert
+    /// is counted — so `hits + misses == probes` stays intact while
+    /// `inserts == distinct keys` deliberately stops holding. Refused
+    /// keys miss again on the next probe, so probe counters under a
+    /// cap depend on request order; the deterministic-counter contract
+    /// applies to the default unbounded configuration.
+    #[must_use]
+    pub fn with_metrics_and_cap(metrics: CacheMetrics, cap: Option<usize>) -> Self {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             metrics,
+            cap,
+            entry_count: AtomicUsize::new(0),
+            byte_estimate: AtomicUsize::new(0),
         }
+    }
+
+    /// The admission cap, if one was set.
+    #[must_use]
+    pub fn cap(&self) -> Option<usize> {
+        self.cap
     }
 
     /// The cache's telemetry (aggregate and per-stripe counters).
@@ -267,18 +386,7 @@ impl<V: Clone> ShardedCache<V> {
             return hit;
         }
         let value = compute();
-        let stripe = Self::shard_index(key);
-        match self.shards[stripe]
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .entry(key.clone())
-        {
-            std::collections::hash_map::Entry::Occupied(existing) => existing.get().clone(),
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                self.metrics.insert(stripe);
-                slot.insert(value).clone()
-            }
-        }
+        self.publish(key, value)
     }
 
     /// Publishes `key → value` without counting a probe.
@@ -290,6 +398,14 @@ impl<V: Clone> ShardedCache<V> {
     /// miss. Counts one insert only if the publication lands; on a
     /// race the first published value wins and is returned.
     pub fn insert(&self, key: &DesignPointKey, value: V) -> V {
+        self.publish(key, value)
+    }
+
+    /// The publication path shared by [`ShardedCache::insert`] and
+    /// [`ShardedCache::get_or_insert_with`]: first landed value wins,
+    /// the admission cap refuses (never evicts), and the entry/byte
+    /// gauges track landed publications.
+    fn publish(&self, key: &DesignPointKey, value: V) -> V {
         let stripe = Self::shard_index(key);
         match self.shards[stripe]
             .write()
@@ -298,10 +414,52 @@ impl<V: Clone> ShardedCache<V> {
         {
             std::collections::hash_map::Entry::Occupied(existing) => existing.get().clone(),
             std::collections::hash_map::Entry::Vacant(slot) => {
+                if let Some(cap) = self.cap {
+                    if self.entry_count.load(Ordering::Relaxed) >= cap {
+                        self.metrics.rejected.inc();
+                        return value;
+                    }
+                }
+                let footprint = Self::entry_footprint(key);
+                let count = self.entry_count.fetch_add(1, Ordering::Relaxed) + 1;
+                let bytes = self.byte_estimate.fetch_add(footprint, Ordering::Relaxed) + footprint;
+                self.metrics.entries.set(count as u64);
+                self.metrics.approx_bytes.set(bytes as u64);
                 self.metrics.insert(stripe);
                 slot.insert(value).clone()
             }
         }
+    }
+
+    /// Estimated resident bytes of one entry: the canonical key string
+    /// plus the key and value struct sizes. Heap indirection inside
+    /// `V` is not followed — the gauge is a growth trend, not an
+    /// allocator audit.
+    fn entry_footprint(key: &DesignPointKey) -> usize {
+        key.canonical().len()
+            + std::mem::size_of::<DesignPointKey>()
+            + std::mem::size_of::<V>()
+    }
+
+    /// A point-in-time snapshot of every cached entry, sorted by
+    /// canonical key so the order is deterministic regardless of shard
+    /// layout or insertion interleaving. Used by the run registry to
+    /// persist warm cache contents.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(DesignPointKey, V)> {
+        let mut all: Vec<(DesignPointKey, V)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.canonical().cmp(b.0.canonical()));
+        all
     }
 
     /// Total entries across all shards.
@@ -348,11 +506,25 @@ pub struct GeometryCache {
 
 impl GeometryCache {
     /// An empty cache reporting under the `geometry.*` prefix of
-    /// `registry`.
+    /// `registry`, configured from the environment
+    /// ([`CacheConfig::from_env`], warnings dropped).
     #[must_use]
     pub fn registered(registry: &Registry) -> Self {
+        Self::registered_with_config(registry, &CacheConfig::from_env().0)
+    }
+
+    /// An empty cache reporting under the `geometry.*` prefix of
+    /// `registry` with explicit [`CacheConfig`] knobs (detail export
+    /// and admission cap). Under a cap, refused geometries are
+    /// re-solved on the next probe, so `geometry.solves` equals the
+    /// distinct-key count only on the default unbounded configuration.
+    #[must_use]
+    pub fn registered_with_config(registry: &Registry, config: &CacheConfig) -> Self {
         Self {
-            cache: ShardedCache::with_metrics(CacheMetrics::registered(registry, "geometry")),
+            cache: ShardedCache::with_metrics_and_cap(
+                CacheMetrics::registered_with_detail(registry, "geometry", config.detail),
+                config.capacity,
+            ),
             solves: registry.counter("geometry.solves"),
         }
     }
@@ -550,6 +722,92 @@ mod tests {
             .counters()
             .iter()
             .any(|(name, _)| name.starts_with("cache.stripe")));
+    }
+
+    #[test]
+    fn cache_config_parses_and_warns_on_garbage() {
+        let (config, warnings) = CacheConfig::parse(Some("1"), Some("128"));
+        assert_eq!(
+            config,
+            CacheConfig {
+                detail: true,
+                capacity: Some(128)
+            }
+        );
+        assert!(warnings.is_empty());
+
+        let (config, warnings) = CacheConfig::parse(None, None);
+        assert_eq!(config, CacheConfig::default());
+        assert!(warnings.is_empty());
+
+        // Invalid caps are ignored with a warning, never a panic; zero
+        // is invalid (a cache that can hold nothing is a typo, not a
+        // policy).
+        for bad in ["0", "-4", "lots", "1e6"] {
+            let (config, warnings) = CacheConfig::parse(Some("0"), Some(bad));
+            assert!(!config.detail, "detail requires exactly \"1\"");
+            assert_eq!(config.capacity, None);
+            assert_eq!(warnings.len(), 1);
+            assert!(warnings[0].contains("COLDTALL_CACHE_CAP"));
+            assert!(warnings[0].contains(bad));
+        }
+    }
+
+    #[test]
+    fn admission_cap_refuses_but_stays_correct() {
+        let registry = coldtall_obs::Registry::new();
+        let cache: ShardedCache<u32> = ShardedCache::with_metrics_and_cap(
+            CacheMetrics::registered_with_detail(&registry, "cache", false),
+            Some(2),
+        );
+        assert_eq!(cache.get_or_insert_with(&key("a"), || 1), 1);
+        assert_eq!(cache.get_or_insert_with(&key("b"), || 2), 2);
+        // The cap refuses the third publication but the computed value
+        // still reaches the caller.
+        assert_eq!(cache.get_or_insert_with(&key("c"), || 3), 3);
+        assert_eq!(cache.insert(&key("d"), 4), 4);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key("c")), None);
+
+        let m = cache.metrics();
+        // hits + misses == probes holds under the cap: 3 computing
+        // probes missed, the post-refusal re-probe of "c" missed again.
+        assert_eq!((m.hits(), m.misses()), (0, 4));
+        assert_eq!(m.inserts(), 2, "only landed publications count");
+        assert_eq!(m.rejected(), 2);
+        assert_eq!(m.entries(), 2);
+        assert!(m.approx_bytes() > 0);
+        assert_eq!(registry.counter_value("cache.rejected"), Some(2));
+        assert_eq!(
+            registry.gauges().iter().find(|(n, _)| n == "cache.entries"),
+            Some(&("cache.entries".to_string(), 2))
+        );
+    }
+
+    #[test]
+    fn unbounded_cache_never_rejects_and_tracks_gauges() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        for i in 0..40 {
+            let _ = cache.get_or_insert_with(&key(&format!("k{i}")), || i);
+        }
+        assert_eq!(cache.cap(), None);
+        assert_eq!(cache.metrics().rejected(), 0);
+        assert_eq!(cache.metrics().entries(), 40);
+        assert_eq!(cache.len(), 40);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let cache: ShardedCache<usize> = ShardedCache::new();
+        for i in 0..25 {
+            let _ = cache.insert(&key(&format!("point-{i:02}")), i);
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 25);
+        let canon: Vec<&str> = snap.iter().map(|(k, _)| k.canonical()).collect();
+        let mut sorted = canon.clone();
+        sorted.sort_unstable();
+        assert_eq!(canon, sorted, "snapshot must be canonically ordered");
     }
 
     #[test]

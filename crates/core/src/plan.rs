@@ -123,7 +123,12 @@ impl DesignPointKey {
         Self::from_canonical(format!("synthetic|{token}"))
     }
 
-    fn from_canonical(canonical: String) -> Self {
+    /// Reconstructs a key from a previously stored canonical form — a
+    /// run-registry record replaying into a fresh process. The hash is
+    /// recomputed from the bytes, so a restored key is identical to
+    /// (and cache-compatible with) the original.
+    #[must_use]
+    pub fn from_canonical(canonical: String) -> Self {
         let hash = fnv1a(canonical.as_bytes());
         Self { canonical, hash }
     }
@@ -365,6 +370,28 @@ impl ExecutionPlan {
     #[must_use]
     pub fn rows(&self) -> usize {
         self.configs.len() * self.benchmarks.len()
+    }
+
+    /// A deterministic FNV-1a hash of the plan's identity: every grid
+    /// configuration's canonical key in row order, then every
+    /// benchmark name. Stable across processes and thread counts (the
+    /// same guarantee as [`DesignPointKey::stable_hash`]), so it can
+    /// key persisted artifacts — the run registry records it with
+    /// every entry to tie a cached result back to the plan that
+    /// produced it.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut text = String::new();
+        for config in &self.configs {
+            text.push_str(DesignPointKey::of_config(config).canonical());
+            text.push('\n');
+        }
+        text.push_str("--benchmarks--\n");
+        for benchmark in self.benchmarks {
+            text.push_str(benchmark.name);
+            text.push('\n');
+        }
+        fnv1a(text.as_bytes())
     }
 
     /// The deduplicated job serving `key`, if the plan compiled one.

@@ -54,6 +54,10 @@ const MIN_ITEMS_FOR_PARALLEL: usize = 2;
 /// Explicit thread-count override (0 = not set; see [`set_max_threads`]).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Parallel regions currently executing (inline or pooled). Drained by
+/// [`quiesce`] on daemon shutdown.
+static ACTIVE_REGIONS: AtomicUsize = AtomicUsize::new(0);
+
 thread_local! {
     /// True while this thread is executing inside a pool worker; nested
     /// [`parallel_map`] calls then run sequentially instead of spawning
@@ -164,6 +168,108 @@ pub fn in_worker() -> bool {
     IN_POOL.with(Cell::get)
 }
 
+/// Explicit pool configuration, decoupled from the process
+/// environment.
+///
+/// The environment path (`detected_parallelism` behind
+/// [`max_threads`]) latches `COLDTALL_THREADS` in a `OnceLock` — the
+/// right behavior for a one-shot CLI run (the warning prints exactly
+/// once), but a long-running daemon must be reconfigurable across
+/// logical restarts. Hosts parse their own settings into a
+/// `PoolConfig` (collecting warnings as data, not stderr writes) and
+/// [`PoolConfig::apply`] them through the [`set_max_threads`]
+/// override, which bypasses the latch entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Worker-thread count; `None` restores auto-detection.
+    pub threads: Option<usize>,
+}
+
+impl PoolConfig {
+    /// Parses a raw thread-count string. Pure: reads nothing from the
+    /// environment and prints nothing. Invalid values (zero, garbage)
+    /// are ignored with a returned warning, mirroring the environment
+    /// path's fallback semantics.
+    #[must_use]
+    pub fn parse(threads: Option<&str>) -> (Self, Vec<String>) {
+        let mut warnings = Vec::new();
+        let threads = match threads {
+            None => None,
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Some(n),
+                _ => {
+                    warnings.push(format!(
+                        "warning: ignoring invalid COLDTALL_THREADS={raw:?} (expected a \
+                         positive integer); auto-detecting the thread count instead"
+                    ));
+                    None
+                }
+            },
+        };
+        (Self { threads }, warnings)
+    }
+
+    /// Reads `COLDTALL_THREADS` fresh from the environment (no
+    /// latching) and returns the parsed config plus any warnings —
+    /// unlike the [`max_threads`] default path, a second call observes
+    /// a changed environment.
+    #[must_use]
+    pub fn from_env() -> (Self, Vec<String>) {
+        let raw = std::env::var("COLDTALL_THREADS").ok();
+        Self::parse(raw.as_deref())
+    }
+
+    /// Installs this config process-wide through the
+    /// [`set_max_threads`] override (`None` restores auto-detection).
+    pub fn apply(&self) {
+        set_max_threads(self.threads.unwrap_or(0));
+    }
+}
+
+/// Parallel regions currently executing, inline fallbacks included. A
+/// region is active from [`parallel_map`] entry until its results are
+/// collected, so a zero reading with no new callers means the pool is
+/// quiet.
+#[must_use]
+pub fn active_regions() -> usize {
+    ACTIVE_REGIONS.load(Ordering::Acquire)
+}
+
+/// Waits until no parallel region is executing, polling for at most
+/// `timeout`. Returns `true` on a quiet pool, `false` on timeout.
+///
+/// This is the daemon's shutdown drain: after the accept loop stops
+/// admitting requests, `quiesce` confirms in-flight sweeps have left
+/// the pool before the process exits. It does not *prevent* new
+/// regions — the caller is responsible for stopping admission first.
+pub fn quiesce(timeout: std::time::Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while active_regions() > 0 {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        thread::sleep(std::time::Duration::from_millis(1));
+    }
+    true
+}
+
+/// Panic-safe active-region accounting: decrements on drop, so a
+/// panicking worker region still leaves the counter balanced.
+struct RegionGuard;
+
+impl RegionGuard {
+    fn enter() -> Self {
+        ACTIVE_REGIONS.fetch_add(1, Ordering::AcqRel);
+        Self
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        ACTIVE_REGIONS.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// Maps `f` over `0..n` across all available cores, returning results
 /// in index order.
 ///
@@ -183,6 +289,7 @@ where
     T: Send + Sync,
     F: Fn(usize) -> T + Sync,
 {
+    let _region = RegionGuard::enter();
     let m = metrics();
     // Counted up-front and identically on every path, so `pool.tasks`
     // stays deterministic across thread counts.
@@ -257,6 +364,11 @@ mod tests {
     use std::collections::HashSet;
     use std::sync::Mutex;
 
+    /// Serializes tests that mutate the process-wide thread override,
+    /// so the default multi-threaded test runner cannot interleave
+    /// their set/assert/restore sequences.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn matches_sequential_map() {
         let par = parallel_map(1000, |i| i * 3 + 1);
@@ -310,7 +422,61 @@ mod tests {
     }
 
     #[test]
+    fn pool_config_parses_and_warns() {
+        let (config, warnings) = PoolConfig::parse(Some("4"));
+        assert_eq!(config.threads, Some(4));
+        assert!(warnings.is_empty());
+
+        let (config, warnings) = PoolConfig::parse(None);
+        assert_eq!(config, PoolConfig::default());
+        assert!(warnings.is_empty());
+
+        for bad in ["0", "-2", "many"] {
+            let (config, warnings) = PoolConfig::parse(Some(bad));
+            assert_eq!(config.threads, None);
+            assert_eq!(warnings.len(), 1);
+            assert!(warnings[0].contains("COLDTALL_THREADS"));
+            assert!(warnings[0].contains(bad));
+        }
+    }
+
+    #[test]
+    fn pool_config_apply_reconfigures_and_restores() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        PoolConfig { threads: Some(2) }.apply();
+        assert_eq!(max_threads(), 2);
+        // A second apply observes the new value — no once-latch.
+        PoolConfig { threads: Some(5) }.apply();
+        assert_eq!(max_threads(), 5);
+        PoolConfig::default().apply();
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn active_regions_balance_even_across_panics() {
+        let _ = parallel_map(8, |i| i);
+        let caught = std::panic::catch_unwind(|| {
+            let _ = parallel_map(4, |i| {
+                assert!(i < 2, "forced worker panic");
+                i
+            });
+        });
+        assert!(caught.is_err());
+        // Every region this test opened must close — the guard
+        // releases on the panic path too. Other tests' transient
+        // regions may be live at any sampling instant, so poll to
+        // global quiescence instead of asserting an instantaneous
+        // count; a leaked guard would pin the counter above zero and
+        // time this out.
+        assert!(
+            quiesce(std::time::Duration::from_secs(10)),
+            "pool failed to quiesce: a region guard leaked"
+        );
+    }
+
+    #[test]
     fn thread_override_round_trips() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         // Relaxed check: the override store/load path, not detection.
         set_max_threads(3);
         assert_eq!(max_threads(), 3);

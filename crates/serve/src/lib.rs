@@ -1,0 +1,39 @@
+//! Sweep-as-a-service: the long-running frontend over the exploration
+//! library.
+//!
+//! The binary workflow (`coldtall sweep`, `coldtall search`) pays the
+//! full characterization cost on every invocation and throws the
+//! warmed caches away at exit. This crate keeps the process — and the
+//! work — alive:
+//!
+//! * [`server`] — a daemon accepting line-delimited JSON requests over
+//!   TCP and stdin, dispatching through the library's
+//!   [`RequestHandler`](coldtall_core::RequestHandler) with per-request
+//!   deadlines, bounded in-flight concurrency, and a drain-before-exit
+//!   shutdown gate;
+//! * [`proto`] — the wire protocol: request parsing and response
+//!   rendering shared by the daemon and the bit-identity tests;
+//! * [`registry`] — the persistent run registry: an append-only JSONL
+//!   log of computed characterizations (floats stored as exact bit
+//!   patterns) replayed at startup to warm a fresh process;
+//! * [`dashboard`] — a static HTML/SVG dashboard generated from the
+//!   warmed cache and live metrics;
+//! * [`pipe`] — the broken-pipe-absorbing writer that lets
+//!   `coldtall sweep | head` exit 0 instead of panicking.
+//!
+//! Everything is `std`-only: no async runtime, no serialization crates,
+//! no signal handling. Graceful shutdown is stdin EOF (or an explicit
+//! [`Server::shutdown`]), because trapping `SIGTERM` would need a
+//! non-`std` dependency.
+
+pub mod dashboard;
+pub mod pipe;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use dashboard::render_dashboard;
+pub use pipe::PipeSafeWriter;
+pub use proto::{parse_request, render_parse_error, render_response, ParsedRequest};
+pub use registry::{replay_file, ReplayStats, RunRegistry, SCHEMA_VERSION};
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,130 @@
+//! A writer that survives the reader hanging up.
+//!
+//! Rust binaries ignore `SIGPIPE` by default, so when a pipeline
+//! consumer exits early (`coldtall sweep | head`) every further write
+//! to stdout fails with [`ErrorKind::BrokenPipe`] — and a bare
+//! `println!` turns that into a panic. [`PipeSafeWriter`] absorbs the
+//! broken pipe instead: the first such error latches a flag, the write
+//! reports success, and the caller checks [`PipeSafeWriter::broken`]
+//! once at the end to exit 0 quietly (the consumer got everything it
+//! asked for; producing more is not an error).
+//!
+//! Every *other* I/O error still surfaces — a full disk on redirected
+//! output must fail loudly.
+
+use std::io::{self, ErrorKind, Write};
+
+/// Wraps a writer, converting `BrokenPipe` into a latched flag and a
+/// pretend-success so formatted output macros never panic mid-pipe.
+#[derive(Debug)]
+pub struct PipeSafeWriter<W: Write> {
+    inner: W,
+    broken: bool,
+}
+
+impl<W: Write> PipeSafeWriter<W> {
+    /// Wraps `inner`.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            broken: false,
+        }
+    }
+
+    /// Whether the underlying writer has reported a broken pipe. Once
+    /// true, all subsequent writes are silently discarded.
+    #[must_use]
+    pub fn broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Unwraps the inner writer (for tests that inspect what landed).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for PipeSafeWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.broken {
+            return Ok(buf.len());
+        }
+        match self.inner.write(buf) {
+            Err(e) if e.kind() == ErrorKind::BrokenPipe => {
+                self.broken = true;
+                Ok(buf.len())
+            }
+            other => other,
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.broken {
+            return Ok(());
+        }
+        match self.inner.flush() {
+            Err(e) if e.kind() == ErrorKind::BrokenPipe => {
+                self.broken = true;
+                Ok(())
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts `accept` bytes then reports a broken pipe.
+    struct Hangup {
+        accept: usize,
+        taken: Vec<u8>,
+    }
+
+    impl Write for Hangup {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.taken.len() >= self.accept {
+                return Err(io::Error::new(ErrorKind::BrokenPipe, "reader gone"));
+            }
+            let n = buf.len().min(self.accept - self.taken.len());
+            self.taken.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn broken_pipe_latches_instead_of_erroring() {
+        let mut w = PipeSafeWriter::new(Hangup {
+            accept: 4,
+            taken: Vec::new(),
+        });
+        assert!(!w.broken());
+        writeln!(w, "abcdefgh").expect("broken pipe must not surface");
+        assert!(w.broken());
+        // Subsequent writes are quietly discarded, never errors.
+        writeln!(w, "more").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.into_inner().taken, b"abcd");
+    }
+
+    #[test]
+    fn other_errors_still_surface() {
+        struct DiskFull;
+        impl Write for DiskFull {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(ErrorKind::WriteZero, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = PipeSafeWriter::new(DiskFull);
+        assert!(writeln!(w, "x").is_err(), "non-pipe errors must propagate");
+        assert!(!w.broken());
+    }
+}

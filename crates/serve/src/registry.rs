@@ -1,0 +1,473 @@
+//! The persistent run registry: an append-only JSONL log of every
+//! characterization the daemon computes, replayable at startup to warm
+//! a fresh process's caches.
+//!
+//! One record per line. Floats are stored as the 16-hex-digit
+//! [`f64::to_bits`] pattern, not decimal text, so a replayed value is
+//! *bit-identical* to the one originally computed — the property the
+//! round-trip tests pin. Records carry a schema version and the
+//! [`ExecutionPlan::stable_hash`](coldtall_core::ExecutionPlan::stable_hash)
+//! they were computed under; replay ignores records from other schema
+//! versions, and dedup keys on `(plan, key)` so restarts never grow the
+//! file with repeats.
+//!
+//! Only characterizations are logged. Evaluations derive from them
+//! deterministically, so replaying the characterization cache is enough
+//! to make a fresh daemon answer sweeps bit-identically without
+//! re-solving any geometry.
+//!
+//! A corrupt or truncated line (a crash mid-append) is *skipped and
+//! counted*, never fatal: the registry is a cache, and losing one
+//! record costs a recomputation, not correctness.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use coldtall_array::{ArrayCharacterization, Organization};
+use coldtall_core::{DesignPointKey, Explorer};
+use coldtall_obs::json::{self, Value};
+use coldtall_units::{Joules, Seconds, SquareMeters, Watts};
+
+use crate::proto::escape;
+
+/// The record schema this build writes and replays. Bump when the
+/// field set changes; replay skips records from other versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Counters from one registry replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Well-formed records imported into the cache.
+    pub replayed: u64,
+    /// Records whose `(plan, key)` was already seen earlier in the file.
+    pub duplicates: u64,
+    /// Corrupt, truncated, or wrong-schema lines skipped.
+    pub skipped: u64,
+}
+
+/// Internal mutable state: the append handle and the dedup set.
+struct Inner {
+    writer: BufWriter<File>,
+    /// `(plan_hash, canonical key)` pairs already on disk.
+    seen: HashSet<(u64, String)>,
+}
+
+/// An append-only on-disk log of computed characterizations.
+///
+/// All methods take `&self`; appends serialize through an internal
+/// mutex, so the registry can be shared across connection threads.
+pub struct RunRegistry {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for RunRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunRegistry")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunRegistry {
+    /// Opens (creating if absent) the registry at `path` and scans any
+    /// existing records into the dedup set so restarts append only
+    /// genuinely new work.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened
+    /// for appending. Unreadable *records* are not errors.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let mut seen = HashSet::new();
+        if let Ok(file) = File::open(&path) {
+            for line in BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                if let Some(record) = parse_record(&line) {
+                    seen.insert((record.plan, record.key.canonical().to_string()));
+                }
+            }
+        }
+        let writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        Ok(Self {
+            path,
+            inner: Mutex::new(Inner { writer, seen }),
+        })
+    }
+
+    /// The file backing this registry.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records on disk (including those scanned at open).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock poisoned").seen.len()
+    }
+
+    /// Whether no records have been written or scanned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one characterization if its `(plan, key)` is not already
+    /// on disk; flushes before returning so a crash after `record`
+    /// never loses the line. Returns whether a record was written.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error from the append or flush.
+    pub fn record(
+        &self,
+        plan_hash: u64,
+        key: &DesignPointKey,
+        value: &ArrayCharacterization,
+    ) -> io::Result<bool> {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        let id = (plan_hash, key.canonical().to_string());
+        if inner.seen.contains(&id) {
+            return Ok(false);
+        }
+        let line = render_record(plan_hash, key, value);
+        inner.writer.write_all(line.as_bytes())?;
+        inner.writer.write_all(b"\n")?;
+        inner.writer.flush()?;
+        inner.seen.insert(id);
+        Ok(true)
+    }
+
+    /// Appends every cached characterization the explorer holds that is
+    /// not yet on disk. Called after each completed request; returns
+    /// how many new records landed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error from an append.
+    pub fn sync_from(&self, explorer: &Explorer, plan_hash: u64) -> io::Result<u64> {
+        let mut appended = 0;
+        for (key, value) in explorer.cached_entries() {
+            if self.record(plan_hash, &key, &value)? {
+                appended += 1;
+            }
+        }
+        Ok(appended)
+    }
+
+    /// Replays every well-formed record from this registry's file into
+    /// the explorer's characterization cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file exists but cannot
+    /// be read. A missing file replays zero records successfully.
+    pub fn replay_into(&self, explorer: &Explorer) -> io::Result<ReplayStats> {
+        replay_file(&self.path, explorer)
+    }
+}
+
+/// Replays the registry file at `path` into `explorer`'s cache, without
+/// opening it for writing. Corrupt lines are skipped and counted.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file exists but cannot be
+/// read. A missing file is an empty registry, not an error.
+pub fn replay_file(path: &Path, explorer: &Explorer) -> io::Result<ReplayStats> {
+    let mut stats = ReplayStats::default();
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(stats),
+        Err(e) => return Err(e),
+    };
+    let mut seen: HashSet<(u64, String)> = HashSet::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(record) = parse_record(&line) else {
+            stats.skipped += 1;
+            continue;
+        };
+        if !seen.insert((record.plan, record.key.canonical().to_string())) {
+            stats.duplicates += 1;
+            continue;
+        }
+        explorer.import_characterization(&record.key, record.value);
+        stats.replayed += 1;
+    }
+    Ok(stats)
+}
+
+/// One decoded registry record.
+struct Record {
+    plan: u64,
+    key: DesignPointKey,
+    value: ArrayCharacterization,
+}
+
+/// Renders one record line (no trailing newline). Floats go out as
+/// their exact bit pattern in hex.
+fn render_record(plan_hash: u64, key: &DesignPointKey, a: &ArrayCharacterization) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"schema\":{SCHEMA_VERSION},\"plan\":\"{plan_hash:016x}\",\"kind\":\"char\",\
+         \"key\":\"{}\"",
+        escape(key.canonical())
+    );
+    let bits = |out: &mut String, name: &str, v: f64| {
+        let _ = write!(out, ",\"{name}\":\"{:016x}\"", v.to_bits());
+    };
+    bits(&mut out, "read_latency", a.read_latency.get());
+    bits(&mut out, "write_latency", a.write_latency.get());
+    bits(&mut out, "read_energy", a.read_energy.get());
+    bits(&mut out, "write_energy", a.write_energy.get());
+    bits(&mut out, "leakage_power", a.leakage_power.get());
+    bits(&mut out, "refresh_power", a.refresh_power.get());
+    bits(&mut out, "refresh_busy_fraction", a.refresh_busy_fraction);
+    match a.retention {
+        Some(r) => bits(&mut out, "retention", r.get()),
+        None => out.push_str(",\"retention\":null"),
+    }
+    bits(&mut out, "footprint", a.footprint.get());
+    bits(&mut out, "total_silicon", a.total_silicon.get());
+    bits(&mut out, "array_efficiency", a.array_efficiency);
+    let _ = write!(
+        out,
+        ",\"org\":[{},{}],\"dies\":{}",
+        a.organization.rows(),
+        a.organization.cols(),
+        a.dies
+    );
+    bits(&mut out, "transfer_bits", a.transfer_bits);
+    bits(&mut out, "read_cycle", a.read_cycle_time.get());
+    bits(&mut out, "write_cycle", a.write_cycle_time.get());
+    out.push('}');
+    out
+}
+
+/// Decodes one record line; `None` for anything malformed — bad JSON,
+/// wrong schema, missing fields, bad hex, out-of-range geometry.
+fn parse_record(line: &str) -> Option<Record> {
+    let value = json::parse(line).ok()?;
+    let Value::Object(fields) = &value else {
+        return None;
+    };
+    if fields.get("schema").and_then(Value::as_f64) != Some(f64::from(SCHEMA_VERSION)) {
+        return None;
+    }
+    if fields.get("kind") != Some(&Value::String("char".to_string())) {
+        return None;
+    }
+    let plan = match fields.get("plan") {
+        Some(Value::String(s)) if s.len() == 16 => u64::from_str_radix(s, 16).ok()?,
+        _ => return None,
+    };
+    let key = match fields.get("key") {
+        Some(Value::String(s)) if !s.is_empty() => DesignPointKey::from_canonical(s.clone()),
+        _ => return None,
+    };
+    let bits = |name: &str| -> Option<f64> { f64_bits(fields.get(name)?) };
+    let retention = match fields.get("retention") {
+        Some(Value::Null) => None,
+        Some(v) => Some(Seconds::new(f64_bits(v)?)),
+        None => return None,
+    };
+    let (rows, cols) = match fields.get("org") {
+        Some(Value::Array(dims)) if dims.len() == 2 => {
+            let rows = subarray_dim(&dims[0])?;
+            let cols = subarray_dim(&dims[1])?;
+            (rows, cols)
+        }
+        _ => return None,
+    };
+    let dies = match fields.get("dies").and_then(Value::as_f64) {
+        Some(n) if n.fract() == 0.0 && (1.0..=255.0).contains(&n) => {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                n as u8
+            }
+        }
+        _ => return None,
+    };
+    let value = ArrayCharacterization {
+        read_latency: Seconds::new(bits("read_latency")?),
+        write_latency: Seconds::new(bits("write_latency")?),
+        read_energy: Joules::new(bits("read_energy")?),
+        write_energy: Joules::new(bits("write_energy")?),
+        leakage_power: Watts::new(bits("leakage_power")?),
+        refresh_power: Watts::new(bits("refresh_power")?),
+        refresh_busy_fraction: bits("refresh_busy_fraction")?,
+        retention,
+        footprint: SquareMeters::new(bits("footprint")?),
+        total_silicon: SquareMeters::new(bits("total_silicon")?),
+        array_efficiency: bits("array_efficiency")?,
+        organization: Organization::new(rows, cols),
+        dies,
+        transfer_bits: bits("transfer_bits")?,
+        read_cycle_time: Seconds::new(bits("read_cycle")?),
+        write_cycle_time: Seconds::new(bits("write_cycle")?),
+    };
+    Some(Record { plan, key, value })
+}
+
+/// Decodes a 16-hex-digit bit-pattern string into the exact `f64`.
+fn f64_bits(value: &Value) -> Option<f64> {
+    match value {
+        Value::String(s) if s.len() == 16 => {
+            u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+        }
+        _ => None,
+    }
+}
+
+/// Validates a stored subarray dimension: [`Organization::new`] panics
+/// on non-power-of-two geometry, so a corrupt record must be rejected
+/// *here*, before reconstruction.
+fn subarray_dim(value: &Value) -> Option<u32> {
+    let n = value.as_f64()?;
+    if !(n.is_finite() && n.fract() == 0.0 && (1.0..=f64::from(u32::MAX)).contains(&n)) {
+        return None;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let dim = n as u32;
+    dim.is_power_of_two().then_some(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coldtall_core::MemoryConfig;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "coldtall-registry-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn records_round_trip_bit_identically() {
+        let explorer = Explorer::with_defaults();
+        let config = MemoryConfig::edram_77k();
+        let original = explorer.characterize(&config);
+        let key = DesignPointKey::of_config(&config);
+
+        let path = temp_path("roundtrip");
+        let registry = RunRegistry::open(&path).unwrap();
+        assert!(registry.record(7, &key, &original).unwrap());
+        // Same (plan, key) again is a dedup no-op.
+        assert!(!registry.record(7, &key, &original).unwrap());
+        assert_eq!(registry.len(), 1);
+
+        let fresh = Explorer::with_defaults();
+        let stats = replay_file(&path, &fresh).unwrap();
+        assert_eq!(
+            stats,
+            ReplayStats {
+                replayed: 1,
+                duplicates: 0,
+                skipped: 0
+            }
+        );
+        let cached = fresh.cached_entries();
+        assert_eq!(cached.len(), 1);
+        assert_eq!(cached[0].0.canonical(), key.canonical());
+        assert_eq!(cached[0].0.stable_hash(), key.stable_hash());
+        // Bit-identity, not approximate equality.
+        assert_eq!(
+            cached[0].1.read_latency.get().to_bits(),
+            original.read_latency.get().to_bits()
+        );
+        assert_eq!(cached[0].1, original);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_and_foreign_lines_are_skipped_not_fatal() {
+        let explorer = Explorer::with_defaults();
+        let config = MemoryConfig::sram_350k();
+        let array = explorer.characterize(&config);
+        let key = DesignPointKey::of_config(&config);
+
+        let path = temp_path("corrupt");
+        let good = render_record(1, &key, &array);
+        let truncated = &good[..good.len() / 2];
+        let wrong_schema = good.replacen("\"schema\":1", "\"schema\":99", 1);
+        // Non-power-of-two geometry must be rejected before the
+        // Organization constructor can panic on it.
+        let bad_org = good.replacen("\"org\":[", "\"org\":[3,", 1);
+        let contents = format!(
+            "{good}\nnot json at all\n{truncated}\n{wrong_schema}\n{bad_org}\n{good}\n"
+        );
+        std::fs::write(&path, contents).unwrap();
+
+        let fresh = Explorer::with_defaults();
+        let stats = replay_file(&path, &fresh).unwrap();
+        assert_eq!(stats.replayed, 1);
+        assert_eq!(stats.duplicates, 1); // the repeated good line
+        assert_eq!(stats.skipped, 4);
+        assert_eq!(fresh.cached_entries().len(), 1);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_scans_the_dedup_set_and_sync_appends_only_new_work() {
+        let path = temp_path("reopen");
+        let explorer = Explorer::with_defaults();
+        let plan = 42;
+        let _ = explorer.characterize(&MemoryConfig::sram_350k());
+        {
+            let registry = RunRegistry::open(&path).unwrap();
+            assert_eq!(registry.sync_from(&explorer, plan).unwrap(), 1);
+        }
+        // A second process appends only what is genuinely new.
+        let _ = explorer.characterize(&MemoryConfig::edram_77k());
+        let registry = RunRegistry::open(&path).unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.sync_from(&explorer, plan).unwrap(), 1);
+        assert_eq!(registry.sync_from(&explorer, plan).unwrap(), 0);
+        assert_eq!(registry.len(), 2);
+
+        let stats = registry.replay_into(&Explorer::with_defaults()).unwrap();
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(stats.skipped, 0);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let path = temp_path("missing");
+        let stats = replay_file(&path, &Explorer::with_defaults()).unwrap();
+        assert_eq!(stats, ReplayStats::default());
+    }
+
+    #[test]
+    fn retention_none_round_trips() {
+        let explorer = Explorer::with_defaults();
+        let config = MemoryConfig::sram_350k();
+        let array = explorer.characterize(&config);
+        assert!(array.retention.is_none(), "SRAM has no retention limit");
+        let key = DesignPointKey::of_config(&config);
+        let line = render_record(3, &key, &array);
+        assert!(line.contains("\"retention\":null"));
+        let record = parse_record(&line).expect("well-formed record");
+        assert_eq!(record.value, array);
+        assert_eq!(record.plan, 3);
+    }
+}

@@ -29,6 +29,14 @@ cargo test -q --test eval_batch perf_smoke
 # the grid holds. Counter-based, never wall-clock.
 cargo test -q --test search matches_exhaustive
 cargo test -q --test search perf_smoke
+# The serve gates: the daemon on an ephemeral port must answer
+# concurrent TCP clients bit-identically to direct library calls, and a
+# registry written by a 4-thread daemon must replay into a 1-thread
+# daemon whose sweep is byte-identical (the registry-replay golden
+# check). Explicit here so a filtered run can never skip the
+# subprocess-spawning suite.
+cargo test -q --test serve concurrent_tcp_clients_get_bit_identical_responses
+cargo test -q --test serve registry_replay_warms_a_fresh_daemon_bit_identically
 cargo clippy --workspace --all-targets -- -D warnings
 # Documentation is part of the API surface: a broken intra-doc link or
 # an undocumented public item on the strict modules fails the gate.

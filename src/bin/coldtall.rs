@@ -8,6 +8,7 @@
 //! coldtall recommend --bench mcf --max-area 5
 //! coldtall table2
 //! coldtall sweep --metrics
+//! coldtall serve --listen 127.0.0.1:0 --registry runs.jsonl
 //! ```
 
 // The CLI is the designated place for terminal output: artifact data
@@ -16,11 +17,21 @@
 #![allow(clippy::print_stderr)]
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
+use coldtall::array::Objective;
 use coldtall::cell::Tentpole;
 use coldtall::core::report::{sci, TextTable};
-use coldtall::core::{selection, BackendRegistry, Constraints, Explorer, MemoryConfig};
+use coldtall::core::{
+    selection, BackendRegistry, CacheConfig, Constraints, Explorer, MemoryConfig, RequestHandler,
+};
+use coldtall::par::PoolConfig;
+use coldtall::serve::{render_dashboard, replay_file, PipeSafeWriter, ServeOptions, Server};
+use coldtall::tech::ProcessNode;
 use coldtall::units::Kelvin;
 use coldtall::workloads::spec2017;
 
@@ -47,24 +58,33 @@ fn main() -> ExitCode {
         _ => true,
     });
     let Some(command) = args.first() else {
-        print_usage();
+        let mut usage = String::new();
+        write_usage(&mut usage);
+        // Usage on a bare invocation goes to stdout like `help`, but
+        // the missing command is still a failure.
+        let _ = flush_stdout(&usage);
         return ExitCode::FAILURE;
     };
+    // Commands render into a buffer; the buffer is flushed through a
+    // broken-pipe-absorbing writer at the end. A consumer that hangs up
+    // early (`coldtall sweep | head`) is a satisfied consumer, not an
+    // error: the flush latches instead of panicking and we exit 0.
+    let mut out = String::new();
     let result = match command.as_str() {
-        "list" => Options::parse(&args[1..], &[]).and_then(|_| cmd_list()),
+        "list" => Options::parse(&args[1..], &[]).and_then(|_| cmd_list(&mut out)),
         "characterize" => {
             Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp", "backend"])
-                .and_then(|opts| cmd_characterize(&opts))
+                .and_then(|opts| cmd_characterize(&opts, &mut out))
         }
         "evaluate" => {
             Options::parse(&args[1..], &["tech", "tentpole", "dies", "temp", "bench", "backend"])
-                .and_then(|opts| cmd_evaluate(&opts))
+                .and_then(|opts| cmd_evaluate(&opts, &mut out))
         }
         "recommend" => Options::parse(&args[1..], &["bench", "max-area"])
-            .and_then(|opts| cmd_recommend(&opts)),
-        "table2" => Options::parse(&args[1..], &[]).and_then(|_| cmd_table2()),
-        "backends" => Options::parse(&args[1..], &[]).and_then(|_| cmd_backends()),
-        "sweep" => Options::parse(&args[1..], &[]).and_then(|_| cmd_sweep()),
+            .and_then(|opts| cmd_recommend(&opts, &mut out)),
+        "table2" => Options::parse(&args[1..], &[]).and_then(|_| cmd_table2(&mut out)),
+        "backends" => Options::parse(&args[1..], &[]).and_then(|_| cmd_backends(&mut out)),
+        "sweep" => Options::parse(&args[1..], &[]).and_then(|_| cmd_sweep(&mut out)),
         "search" => Options::parse(
             &args[1..],
             &[
@@ -78,22 +98,46 @@ fn main() -> ExitCode {
                 "max-power",
             ],
         )
-        .and_then(|opts| cmd_search(&opts)),
+        .and_then(|opts| cmd_search(&opts, &mut out)),
+        "serve" => Options::parse(
+            &args[1..],
+            &[
+                "listen",
+                "registry",
+                "max-inflight",
+                "deadline-ms",
+                "threads",
+                "cache-cap",
+                "render",
+            ],
+        )
+        .and_then(|opts| cmd_serve(&opts)),
         "help" | "--help" | "-h" => {
-            print_usage();
+            write_usage(&mut out);
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
     };
     match result {
         Ok(()) => {
+            let broken = match flush_stdout(&out) {
+                Ok(broken) => broken,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             // Metrics go to stderr after the command's own output, so
             // redirected stdout stays a clean artifact and
             // `--metrics=json` stderr is a parseable JSON document.
-            match metrics {
-                MetricsMode::Off => {}
-                MetricsMode::Text => eprint!("{}", coldtall::obs::global().render_text()),
-                MetricsMode::Json => eprint!("{}", coldtall::obs::global().render_json()),
+            // When the consumer hung up we skip them: nobody is
+            // listening to this pipeline anymore.
+            if !broken {
+                match metrics {
+                    MetricsMode::Off => {}
+                    MetricsMode::Text => eprint!("{}", coldtall::obs::global().render_text()),
+                    MetricsMode::Json => eprint!("{}", coldtall::obs::global().render_json()),
+                }
             }
             ExitCode::SUCCESS
         }
@@ -105,8 +149,23 @@ fn main() -> ExitCode {
     }
 }
 
-fn print_usage() {
-    println!(
+/// Writes the buffered output to stdout through a
+/// [`PipeSafeWriter`]; returns whether the consumer hung up.
+///
+/// # Errors
+///
+/// Any non-`BrokenPipe` I/O error (a full disk on redirection).
+fn flush_stdout(buffer: &str) -> io::Result<bool> {
+    let stdout = io::stdout();
+    let mut out = PipeSafeWriter::new(stdout.lock());
+    out.write_all(buffer.as_bytes())?;
+    out.flush()?;
+    Ok(out.broken())
+}
+
+fn write_usage(out: &mut String) {
+    let _ = writeln!(
+        out,
         "coldtall — design-space exploration of cryogenic and 3D embedded cache memory\n\
          \n\
          USAGE:\n  coldtall <command> [options]\n\
@@ -120,6 +179,7 @@ fn print_usage() {
          \x20 sweep           the full study sweep, summarized per configuration\n\
          \x20 search          adaptive branch-and-bound Pareto search of the study space\n\
          \x20 backends        the characterization backends and their capabilities\n\
+         \x20 serve           long-running daemon: JSON requests over TCP/stdin\n\
          \n\
          DESIGN-POINT OPTIONS:\n\
          \x20 --tech <sram|edram|pcm|stt|rram>   technology (default sram)\n\
@@ -147,6 +207,20 @@ fn print_usage() {
          \x20 --metrics[=json]                   after the command, report engine\n\
          \x20                                    telemetry (cache hit rates, pool\n\
          \x20                                    utilization, span timings) to stderr\n\
+         \n\
+         SERVE OPTIONS:\n\
+         \x20 --listen <addr:port>               accept TCP clients (port 0 = ephemeral);\n\
+         \x20                                    omit for a stdin-only daemon\n\
+         \x20 --registry <file.jsonl>            replay this run registry at startup and\n\
+         \x20                                    append every new characterization to it\n\
+         \x20 --max-inflight <n>                 concurrent request cap (default 8)\n\
+         \x20 --deadline-ms <ms>                 default per-request budget (default none)\n\
+         \x20 --threads <n>                      worker pool size (default: COLDTALL_THREADS\n\
+         \x20                                    or auto-detect)\n\
+         \x20 --cache-cap <n>                    characterization-cache admission cap\n\
+         \x20                                    (default: COLDTALL_CACHE_CAP or unbounded)\n\
+         \x20 --render <dir>                     write the static HTML dashboard from the\n\
+         \x20                                    registry and exit (no daemon)\n\
          \n\
          Options take `--key value` or `--key=value`. Unknown options,\n\
          missing values, and out-of-range inputs exit 1 with `error: ...`\n\
@@ -261,7 +335,7 @@ fn check_backend(opts: &Options, explorer: &Explorer, config: &MemoryConfig) -> 
     Ok(resolved)
 }
 
-fn cmd_backends() -> Result<(), String> {
+fn cmd_backends(out: &mut String) -> Result<(), String> {
     let registry = BackendRegistry::with_defaults();
     let mut table = TextTable::new(&["backend", "technologies", "temperature", "dies"]);
     for backend in registry.backends() {
@@ -281,11 +355,11 @@ fn cmd_backends() -> Result<(), String> {
             dies.join("/"),
         ]);
     }
-    print!("{}", table.render());
+    let _ = write!(out, "{}", table.render());
     Ok(())
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list(out: &mut String) -> Result<(), String> {
     let mut table = TextTable::new(&["benchmark", "suite", "reads_per_s", "writes_per_s", "band"]);
     for b in spec2017() {
         table.row_owned(vec![
@@ -296,36 +370,36 @@ fn cmd_list() -> Result<(), String> {
             b.traffic_band().to_string(),
         ]);
     }
-    print!("{}", table.render());
-    println!("\nconfigurations ({}):", MemoryConfig::study_set().len());
+    let _ = write!(out, "{}", table.render());
+    let _ = writeln!(out, "\nconfigurations ({}):", MemoryConfig::study_set().len());
     for c in MemoryConfig::study_set() {
-        println!("  {}", c.label());
+        let _ = writeln!(out, "  {}", c.label());
     }
     Ok(())
 }
 
-fn cmd_characterize(opts: &Options) -> Result<(), String> {
+fn cmd_characterize(opts: &Options, out: &mut String) -> Result<(), String> {
     let config = parse_config(opts)?;
     let explorer = Explorer::with_defaults();
     let backend = check_backend(opts, &explorer, &config)?;
     let a = explorer
         .try_characterize(&config)
         .map_err(|e| e.to_string())?;
-    println!("{}:", config.label());
-    println!("  backend           : {backend}");
-    println!("  organization      : {} subarrays x {} dies", a.organization, a.dies);
-    println!("  read latency      : {}", a.read_latency);
-    println!("  write latency     : {}", a.write_latency);
-    println!("  read energy/bit   : {}", a.read_energy_per_bit());
-    println!("  write energy/bit  : {}", a.write_energy_per_bit());
-    println!("  leakage power     : {}", a.leakage_power);
-    println!("  refresh power     : {}", a.refresh_power);
-    println!("  footprint         : {:.3} mm^2", a.footprint.as_mm2());
-    println!("  array efficiency  : {:.2}", a.array_efficiency);
+    let _ = writeln!(out, "{}:", config.label());
+    let _ = writeln!(out, "  backend           : {backend}");
+    let _ = writeln!(out, "  organization      : {} subarrays x {} dies", a.organization, a.dies);
+    let _ = writeln!(out, "  read latency      : {}", a.read_latency);
+    let _ = writeln!(out, "  write latency     : {}", a.write_latency);
+    let _ = writeln!(out, "  read energy/bit   : {}", a.read_energy_per_bit());
+    let _ = writeln!(out, "  write energy/bit  : {}", a.write_energy_per_bit());
+    let _ = writeln!(out, "  leakage power     : {}", a.leakage_power);
+    let _ = writeln!(out, "  refresh power     : {}", a.refresh_power);
+    let _ = writeln!(out, "  footprint         : {:.3} mm^2", a.footprint.as_mm2());
+    let _ = writeln!(out, "  array efficiency  : {:.2}", a.array_efficiency);
     Ok(())
 }
 
-fn cmd_evaluate(opts: &Options) -> Result<(), String> {
+fn cmd_evaluate(opts: &Options, out: &mut String) -> Result<(), String> {
     let config = parse_config(opts)?;
     let explorer = Explorer::with_defaults();
     check_backend(opts, &explorer, &config)?;
@@ -334,18 +408,18 @@ fn cmd_evaluate(opts: &Options) -> Result<(), String> {
     let e = explorer
         .try_evaluate(&config, benchmark_name(opts))
         .map_err(|e| e.to_string())?;
-    println!("{} running {}:", e.config_label, e.benchmark);
-    println!("  device power        : {}", e.device_power);
-    println!("  wall power (cooled) : {}", e.wall_power);
-    println!("  relative power      : {}", sci(e.relative_power));
-    println!("  relative latency    : {}", sci(e.relative_latency));
-    println!("  bandwidth use       : {}", sci(e.bandwidth_utilization));
-    println!("  lifetime            : {} years", sci(e.lifetime_years));
-    println!("  verdict             : {}", e.feasibility);
+    let _ = writeln!(out, "{} running {}:", e.config_label, e.benchmark);
+    let _ = writeln!(out, "  device power        : {}", e.device_power);
+    let _ = writeln!(out, "  wall power (cooled) : {}", e.wall_power);
+    let _ = writeln!(out, "  relative power      : {}", sci(e.relative_power));
+    let _ = writeln!(out, "  relative latency    : {}", sci(e.relative_latency));
+    let _ = writeln!(out, "  bandwidth use       : {}", sci(e.bandwidth_utilization));
+    let _ = writeln!(out, "  lifetime            : {} years", sci(e.lifetime_years));
+    let _ = writeln!(out, "  verdict             : {}", e.feasibility);
     Ok(())
 }
 
-fn cmd_recommend(opts: &Options) -> Result<(), String> {
+fn cmd_recommend(opts: &Options, out: &mut String) -> Result<(), String> {
     let mut constraints = Constraints::default();
     if let Some(area) = opts.get("max-area") {
         constraints.max_area_mm2 =
@@ -360,7 +434,8 @@ fn cmd_recommend(opts: &Options) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     match coldtall::core::recommend(&evals, &constraints) {
         Some(pick) => {
-            println!(
+            let _ = writeln!(
+                out,
                 "{}: {} ({}x below the 350K SRAM reference, {:.2} mm^2)",
                 name,
                 pick.config_label,
@@ -373,7 +448,7 @@ fn cmd_recommend(opts: &Options) -> Result<(), String> {
     }
 }
 
-fn cmd_sweep() -> Result<(), String> {
+fn cmd_sweep(out: &mut String) -> Result<(), String> {
     let explorer = Explorer::with_defaults();
     let configs = MemoryConfig::study_set();
     let rows = explorer
@@ -416,8 +491,9 @@ fn cmd_sweep() -> Result<(), String> {
             sci(mean_latency),
         ]);
     }
-    print!("{}", table.render());
-    println!(
+    let _ = write!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
         "\n{} rows ({} configurations x {} benchmarks), {} characterizations memoized",
         rows.len(),
         configs.len(),
@@ -427,7 +503,7 @@ fn cmd_sweep() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_search(opts: &Options) -> Result<(), String> {
+fn cmd_search(opts: &Options, out: &mut String) -> Result<(), String> {
     // The region: the study set, narrowed by --tech/--dies, optionally
     // expanded over (or re-pinned to) temperatures. Filters that match
     // nothing are a typed empty-region error, never an empty report.
@@ -526,9 +602,10 @@ fn cmd_search(opts: &Options) -> Result<(), String> {
             format!("{:.2}", row.footprint_mm2),
         ]);
     }
-    print!("{}", table.render());
+    let _ = write!(out, "{}", table.render());
     let stats = outcome.stats;
-    println!(
+    let _ = writeln!(
+        out,
         "\n{} frontier points over {} rows: {} evaluated, {} skipped ({} infeasible, {} pruned)",
         outcome.frontier.len(),
         stats.rows_total,
@@ -537,7 +614,8 @@ fn cmd_search(opts: &Options) -> Result<(), String> {
         stats.skipped_infeasible,
         stats.skipped_pruned
     );
-    println!(
+    let _ = writeln!(
+        out,
         "regions: {} expanded, {} refined, {} pruned; {} plane bounds computed",
         stats.regions_expanded, stats.regions_refined, stats.regions_pruned, stats.bounds_computed
     );
@@ -552,7 +630,8 @@ fn cmd_search(opts: &Options) -> Result<(), String> {
             .iter()
             .min_by(|a, b| coord(a).total_cmp(&coord(b)))
             .expect("the frontier was checked non-empty");
-        println!(
+        let _ = writeln!(
+            out,
             "best by {}: {} on {} (rel_power {}, rel_latency {}, {:.2} mm^2)",
             ["power", "latency", "area"][k],
             best.config_label,
@@ -565,7 +644,7 @@ fn cmd_search(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_table2() -> Result<(), String> {
+fn cmd_table2(out: &mut String) -> Result<(), String> {
     let explorer = Explorer::with_defaults();
     let rows = selection::table2(&explorer);
     let mut table = TextTable::new(&["band", "power", "power_alt", "performance", "area"]);
@@ -578,6 +657,109 @@ fn cmd_table2() -> Result<(), String> {
             row.area.label,
         ]);
     }
-    print!("{}", table.render());
+    let _ = write!(out, "{}", table.render());
+    Ok(())
+}
+
+/// `coldtall serve`: the long-running daemon (or, with `--render`, the
+/// one-shot dashboard generator). Unlike the other commands this one
+/// streams to stdout directly — responses must reach the client as they
+/// complete, not at exit.
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    // Explicit configs, not environment latches: a long-running host
+    // reconfigures per logical restart, so the once-per-process
+    // `OnceLock` env path the one-shot commands use is wrong here.
+    let (pool_env, pool_warnings) = PoolConfig::from_env();
+    let pool = match opts.get("threads") {
+        Some(raw) => PoolConfig {
+            threads: Some(
+                raw.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "bad --threads value".to_string())?,
+            ),
+        },
+        None => {
+            for w in &pool_warnings {
+                eprintln!("{w}");
+            }
+            pool_env
+        }
+    };
+    pool.apply();
+
+    let (mut cache_config, cache_warnings) = CacheConfig::from_env();
+    match opts.get("cache-cap") {
+        Some(raw) => {
+            cache_config.capacity = Some(
+                raw.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| "bad --cache-cap value".to_string())?,
+            );
+        }
+        None => {
+            for w in &cache_warnings {
+                eprintln!("{w}");
+            }
+        }
+    }
+
+    let default_deadline = match opts.get("deadline-ms") {
+        Some(raw) => Some(Duration::from_millis(
+            raw.parse::<u64>()
+                .map_err(|_| "bad --deadline-ms value".to_string())?,
+        )),
+        None => None,
+    };
+    let max_inflight = match opts.get("max-inflight") {
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| "bad --max-inflight value".to_string())?,
+        None => 8,
+    };
+
+    let metrics = coldtall::obs::global();
+    let explorer = Explorer::try_with_backends_configured(
+        ProcessNode::ptm_22nm_hp(),
+        Objective::EnergyDelayProduct,
+        BackendRegistry::with_defaults(),
+        metrics,
+        &cache_config,
+    )
+    .map_err(|e| e.to_string())?;
+    let handler = RequestHandler::new(explorer, metrics, default_deadline);
+
+    if let Some(dir) = opts.get("render") {
+        if let Some(path) = opts.get("registry") {
+            let stats = replay_file(Path::new(path), handler.explorer())
+                .map_err(|e| format!("registry replay: {e}"))?;
+            eprintln!(
+                "replayed {} records ({} duplicates, {} skipped) from {path}",
+                stats.replayed, stats.duplicates, stats.skipped
+            );
+        }
+        let written = render_dashboard(Path::new(dir), &handler, metrics)
+            .map_err(|e| format!("dashboard render: {e}"))?;
+        eprintln!("wrote {} pages to {dir}", written.len());
+        return Ok(());
+    }
+
+    let options = ServeOptions {
+        listen: opts.get("listen").map(String::from),
+        registry: opts.get("registry").map(PathBuf::from),
+        max_inflight,
+    };
+    let server = Server::start(handler, &options).map_err(|e| e.to_string())?;
+    let stdout = io::stdout();
+    let mut out = PipeSafeWriter::new(stdout.lock());
+    writeln!(out, "{}", server.ready_line()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    let stdin = io::stdin();
+    server
+        .serve_lines(stdin.lock(), &mut out)
+        .map_err(|e| e.to_string())?;
     Ok(())
 }

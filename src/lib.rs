@@ -46,6 +46,8 @@ pub use coldtall_cell as cell;
 pub use coldtall_core as core;
 pub use coldtall_cryo as cryo;
 pub use coldtall_obs as obs;
+pub use coldtall_par as par;
+pub use coldtall_serve as serve;
 pub use coldtall_tech as tech;
 pub use coldtall_units as units;
 pub use coldtall_workloads as workloads;

@@ -357,3 +357,35 @@ fn metrics_counters_identical_across_thread_counts() {
         "counters must be deterministic under any thread count"
     );
 }
+
+/// Regression (ISSUE 8): `coldtall sweep | head -1` used to panic with
+/// "failed printing to stdout: Broken pipe" because Rust ignores
+/// `SIGPIPE` and `println!` turns `EPIPE` into a panic. The consumer
+/// hanging up early is a satisfied consumer: the command must exit 0
+/// with no panic, and skip the `--metrics` report (nobody is
+/// listening to the pipeline anymore).
+#[test]
+fn sweep_into_closed_pipe_exits_cleanly() {
+    use std::process::Stdio;
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_coldtall"))
+        .args(["sweep", "--metrics"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    // Close the read end before the child produces output: every write
+    // it attempts from then on fails with EPIPE.
+    drop(child.stdout.take());
+    let output = child.wait_with_output().expect("child exits");
+    let err = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "a broken pipe must exit 0, got {:?}; stderr: {err}",
+        output.status
+    );
+    assert!(!err.contains("panicked"), "no panic on EPIPE: {err}");
+    assert!(
+        !err.contains("cache."),
+        "metrics are skipped once the consumer is gone: {err}"
+    );
+}
