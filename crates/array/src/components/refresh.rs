@@ -1,14 +1,23 @@
-//! Refresh model for decaying (eDRAM) technologies.
+//! Refresh model for decaying (eDRAM) technologies and the scrub model
+//! for marginal-retention non-volatile cells.
 
 use coldtall_units::{Seconds, Watts};
 
-use super::{bitline, decoder, wordline, Ctx};
+use super::{bitline, decoder, sense, wordline, Ctx};
 use crate::calib;
 
 /// Independent refresh engines per die. Refresh is serialized through
 /// each die's shared decode/H-tree resources, which is what makes
 /// room-temperature 3T-eDRAM unusable in the paper (94% IPC loss).
 const REFRESH_ENGINES_PER_DIE: f64 = 1.0;
+
+/// Retention floor (seconds, ~10 years) below which a non-volatile
+/// cell's thermally-activated back-hopping must be countered by
+/// periodic scrubbing. Survey-default MTJs (Δ_ref = 60 at 350 K) sit
+/// many decades above this across the legal 60-400 K span, so the
+/// scrub path only engages for stability-adjusted cells
+/// (`CellModel::with_thermal_stability`).
+const NVM_SCRUB_RETENTION_FLOOR_S: f64 = 3.0e8;
 
 /// The refresh behaviour of an array at its operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,19 +31,31 @@ pub struct RefreshProfile {
     pub busy_fraction: f64,
 }
 
-/// Computes the refresh profile, or `None` for non-decaying technologies.
+/// Computes the refresh (eDRAM) or scrub (marginal-retention NVM)
+/// profile, or `None` for technologies that hold data indefinitely.
 pub fn profile(ctx: &Ctx<'_>) -> Option<RefreshProfile> {
     let cell = ctx.spec.cell();
-    if !cell.needs_refresh() {
-        return None;
+    if cell.needs_refresh() {
+        return Some(decay_profile(ctx));
     }
+    if cell.is_nonvolatile() {
+        let retention = cell.retention(ctx.node(), ctx.op())?;
+        if retention.get() < NVM_SCRUB_RETENTION_FLOOR_S {
+            return Some(scrub_profile(ctx, retention));
+        }
+    }
+    None
+}
+
+/// The eDRAM refresh profile: the storage node decays and every row
+/// must be read-and-restored within its retention window.
+fn decay_profile(ctx: &Ctx<'_>) -> RefreshProfile {
+    let cell = ctx.spec.cell();
     let retention = cell
         .retention(ctx.node(), ctx.op())
         .expect("refresh-dependent cells always model a storage node");
 
-    let rows_total = ctx.geom.subarrays_total as f64 * f64::from(ctx.org.rows());
-    let rows_per_engine =
-        rows_total / (f64::from(ctx.spec.dies()) * REFRESH_ENGINES_PER_DIE);
+    let (rows_total, rows_per_engine) = row_budget(ctx);
 
     // One row refresh is a local read-and-restore: decode, wordline, and
     // bitline write-back (no H-tree trip).
@@ -55,11 +76,46 @@ pub fn profile(ctx: &Ctx<'_>) -> Option<RefreshProfile> {
         * calib::REFRESH_ENERGY_FACTOR;
     let power = Watts::new(rows_total * row_energy / retention.get());
 
-    Some(RefreshProfile {
+    RefreshProfile {
         retention,
         power,
         busy_fraction,
-    })
+    }
+}
+
+/// The NVM scrub profile: a cell whose Δ(T) retention dips below the
+/// floor must have every row rewritten once per retention window. A
+/// scrub row pass pays decode, wordline, bitline drive, and the full
+/// programming pulse — eNVM writes are not a cheap restore.
+fn scrub_profile(ctx: &Ctx<'_>, retention: Seconds) -> RefreshProfile {
+    let cell = ctx.spec.cell();
+    let (rows_total, rows_per_engine) = row_budget(ctx);
+
+    let t_row = decoder::delay(ctx)
+        + wordline::delay(ctx)
+        + bitline::write_delay(ctx)
+        + sense::write_pulse(ctx);
+    let busy_fraction = (rows_per_engine * t_row.get() / retention.get()).min(1.0);
+
+    let cols = f64::from(ctx.org.cols());
+    let row_energy = cols
+        * cell.write_energy_cell().get()
+        * cell.write_energy_factor(ctx.op().temperature())
+        + wordline::energy(ctx).get();
+    let power = Watts::new(rows_total * row_energy / retention.get());
+
+    RefreshProfile {
+        retention,
+        power,
+        busy_fraction,
+    }
+}
+
+/// Total rows in the array and rows served by each per-die engine.
+fn row_budget(ctx: &Ctx<'_>) -> (f64, f64) {
+    let rows_total = ctx.geom.subarrays_total as f64 * f64::from(ctx.org.rows());
+    let rows_per_engine = rows_total / (f64::from(ctx.spec.dies()) * REFRESH_ENGINES_PER_DIE);
+    (rows_total, rows_per_engine)
 }
 
 #[cfg(test)]
@@ -110,6 +166,41 @@ mod tests {
         assert!(p.busy_fraction < 1e-3, "busy = {}", p.busy_fraction);
         assert!(p.power.get() < 1e-3, "refresh power = {}", p.power);
         assert!(p.retention.get() > 1.0);
+    }
+
+    #[test]
+    fn default_stt_never_scrubs_but_adjusted_stability_does() {
+        use coldtall_cell::{MemoryTechnology, Tentpole};
+        let node = ProcessNode::ptm_22nm_hp();
+        let org = Organization::new(512, 1024);
+
+        // Survey-default MTJ: retention is decades above the scrub
+        // floor everywhere in the legal span — no profile.
+        let stt = CellModel::tentpole(MemoryTechnology::SttRam, Tentpole::Optimistic, &node);
+        for t in [77.0, 350.0, 400.0] {
+            let spec = ArraySpec::llc_16mib(stt.clone(), &node).at_temperature(Kelvin::new(t));
+            assert!(profile(&Ctx::new(&spec, org)).is_none(), "{t} K");
+        }
+
+        // A stability-adjusted junction (Δ_ref = 30 → hours of
+        // retention at 350 K) must scrub, and scrubbing eases toward
+        // cryo as Δ(T) grows.
+        let adjusted = stt.with_thermal_stability(30.0);
+        let profile_at = |t: f64| {
+            let spec =
+                ArraySpec::llc_16mib(adjusted.clone(), &node).at_temperature(Kelvin::new(t));
+            profile(&Ctx::new(&spec, org)).unwrap()
+        };
+        let warm = profile_at(350.0);
+        assert!(warm.power.get() > 0.0);
+        assert!(warm.busy_fraction > 0.0 && warm.busy_fraction < 1.0);
+        let cool = profile_at(300.0);
+        assert!(cool.retention > warm.retention);
+        assert!(cool.power < warm.power);
+        // By 250 K the Δ(T) boost lifts retention back over the floor.
+        let spec =
+            ArraySpec::llc_16mib(adjusted.clone(), &node).at_temperature(Kelvin::new(250.0));
+        assert!(profile(&Ctx::new(&spec, org)).is_none());
     }
 
     #[test]

@@ -33,9 +33,15 @@ pub fn write_pulse(ctx: &Ctx<'_>) -> Seconds {
     }
 }
 
-/// Cell-intrinsic write energy for one access.
+/// Cell-intrinsic write energy for one access. MTJ cells pay the
+/// Δ(T)-driven switching-current factor of the operating temperature
+/// (exactly 1.0 at the 350 K reference); all other cells are
+/// temperature-flat here.
 pub fn write_energy(ctx: &Ctx<'_>) -> Joules {
-    ctx.spec.cell().write_energy_cell() * ctx.spec.transfer_bits()
+    let cell = ctx.spec.cell();
+    cell.write_energy_cell()
+        * ctx.spec.transfer_bits()
+        * cell.write_energy_factor(ctx.op().temperature())
 }
 
 #[cfg(test)]

@@ -359,18 +359,34 @@ fn main() {
     let ok_eval = compare_eval(iters, &expanded, &mut json);
     let ok_search = compare_search(iters, &expanded, &mut json);
 
-    // Per-backend characterization tallies as their own flat section:
-    // how the study's design points split between the CryoMEM and
-    // Destiny paths, accumulated across every timed sweep above.
+    // Per-backend tallies as their own flat section: how the study's
+    // design points split between the CryoMEM and Destiny paths
+    // (characterizations actually dispatched, and resolutions the
+    // overlap policy awarded), accumulated across every timed sweep
+    // above.
     let mut backends = JsonObject::new();
     for backend in coldtall_core::BackendRegistry::with_defaults().backends() {
         let name = backend.name();
         #[allow(clippy::cast_precision_loss)]
-        let tally = coldtall_obs::global()
-            .counter_value(&format!("backend.{name}.characterizations"))
-            .unwrap_or(0) as f64;
-        backends.number(&format!("{name}_characterizations"), tally);
+        let tally = |suffix: &str| {
+            coldtall_obs::global()
+                .counter_value(&format!("backend.{name}.{suffix}"))
+                .unwrap_or(0) as f64
+        };
+        backends
+            .number(&format!("{name}_characterizations"), tally("characterizations"))
+            .number(&format!("{name}_resolved"), tally("resolved"));
     }
+    // Per-plane routing: every design point of the study plan and the
+    // backend the registry's resolution policy picks for it.
+    let study_plan = coldtall_core::SweepPlan::new(study.clone())
+        .compile(&coldtall_core::BackendRegistry::with_defaults())
+        .expect("study configs resolve");
+    let mut planes = JsonObject::new();
+    for job in study_plan.jobs() {
+        planes.string(job.key().canonical(), job.backend());
+    }
+    backends.raw("resolved_planes", &planes.render());
     json.raw("backends", &backends.render());
 
     // Fold the engine's telemetry (cache hit/miss, pool utilization,

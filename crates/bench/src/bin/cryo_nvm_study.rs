@@ -1,0 +1,5 @@
+//! Runs the cryo_nvm_study study. Pass `--csv` for CSV output.
+
+fn main() {
+    coldtall_bench::emit("cryo_nvm_study", &coldtall_bench::cryo_nvm_study::run());
+}

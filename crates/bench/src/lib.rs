@@ -28,6 +28,7 @@
 //! | `ablation_voltage` | 77 K supply-voltage sweep around the cryo policy |
 //! | `ablation_tags` | the SRAM tag store's share of leakage/latency/area |
 //! | `accel_study` | the future-work accelerator scenarios at 10 W cooling |
+//! | `cryo_nvm_study` | Δ(T) STT-MRAM across 77-387 K × 1-8 dies, sweep + search |
 //! | `hybrid_study` | SRAM + eNVM hybrid partitions (related work II-B) |
 //! | `dynamic_temperature` | temperature as a dynamic knob (future work VI) |
 //! | `variation_study` | Monte-Carlo sampling between the tentpoles |
@@ -50,6 +51,7 @@ pub mod ablation_stacking;
 pub mod ablation_tags;
 pub mod ablation_voltage;
 pub mod accel_study;
+pub mod cryo_nvm_study;
 pub mod dynamic_temperature;
 pub mod fig1;
 pub mod fig3;

@@ -35,7 +35,7 @@ mod survey;
 mod technology;
 mod tentpole;
 
-pub use model::{CellModel, ReadMechanism, StorageNode};
+pub use model::{CellModel, MtjThermal, ReadMechanism, StorageNode};
 pub use survey::{survey_entries, SurveyEntry, Venue};
 pub use technology::MemoryTechnology;
 pub use tentpole::Tentpole;

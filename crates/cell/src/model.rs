@@ -1,7 +1,7 @@
 //! The cell model consumed by the array-characterization engine.
 
 use coldtall_tech::{Mosfet, OperatingPoint, ProcessNode};
-use coldtall_units::{Amps, Farads, Joules, Seconds, Volts, Watts};
+use coldtall_units::{Amps, Farads, Joules, Kelvin, Seconds, Volts, Watts};
 
 use crate::survey::SurveyEntry;
 use crate::technology::MemoryTechnology;
@@ -41,6 +41,46 @@ const STORAGE_GATE_SUPPRESSION: f64 = 0.003;
 /// devices (high-Vth cell implant), calibrated to a ~0.5 W 16 MiB SRAM
 /// cell-leakage budget at 350 K.
 const CELL_VTH_BOOST: f64 = 0.19;
+
+/// Default MTJ thermal-stability factor Δ at the reference temperature
+/// (350 K): the ten-year-retention design point of the surveyed STT-RAM
+/// demonstrations (Garzón et al.).
+const MTJ_DELTA_REF: f64 = 60.0;
+
+/// Néel-Brown attempt time τ0 of the MTJ free layer, the prefactor of
+/// the thermally-activated retention law `t_ret = τ0 · exp(Δ(T))`.
+const MTJ_ATTEMPT_TIME_S: f64 = 1.0e-9;
+
+/// Slope of the MTJ switching-energy increase toward cryogenic
+/// temperatures: the write-energy factor is
+/// `1 + c · (T_ref/T − 1)`, exactly `1.0` at the 350 K reference.
+/// Garzón et al. measure higher critical switching currents as Δ(T)
+/// grows toward 77 K; `c` is calibrated so writes cost ~1.9x at 77 K.
+const MTJ_WRITE_ENERGY_TEMP_COEFF: f64 = 0.25;
+
+/// Temperature-dependent behavior of an STT-MRAM magnetic tunnel
+/// junction, following Garzón et al. ("Adjusting Thermal Stability in
+/// Double-Barrier MTJ for Energy Improvement in Cryogenic STT-MRAMs"):
+/// the thermal-stability factor scales as `Δ(T) = Δ_ref · T_ref / T`
+/// with `T_ref = 350 K`, dragging retention, write energy, and the
+/// thermally-activated write-error rate with it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtjThermal {
+    /// Thermal-stability factor Δ(T) = E_barrier / (k_B · T).
+    pub delta: f64,
+    /// Néel-Brown retention time `τ0 · exp(Δ(T))`. Saturates to
+    /// infinity when Δ(T) exceeds the representable exponent range —
+    /// still ordered and still comparable against scrub thresholds.
+    pub retention: Seconds,
+    /// Multiplier on the cell write energy relative to the 350 K
+    /// reference: exactly `1.0` at 350 K (bit-for-bit), above `1.0`
+    /// toward cryo where the higher Δ(T) raises the switching current.
+    pub write_energy_factor: f64,
+    /// Thermally-activated write-error rate `exp(−Δ(T))`: the
+    /// probability a written bit back-hops during the verify window.
+    /// Shrinks toward cryo as the barrier grows.
+    pub write_error_rate: f64,
+}
 
 /// A storage-cell model: everything the array engine needs to know about
 /// one bit of a given technology.
@@ -87,6 +127,10 @@ pub struct CellModel {
     endurance_writes: f64,
     nonvolatile: bool,
     mlc_bits: u8,
+    /// MTJ thermal-stability factor at `Kelvin::REFERENCE`, for cells
+    /// whose retention and write costs follow the Δ(T) law (STT-RAM).
+    /// `None` for every other technology.
+    mtj_delta_ref: Option<f64>,
 }
 
 impl CellModel {
@@ -117,6 +161,7 @@ impl CellModel {
             endurance_writes: 1.0e16,
             nonvolatile: false,
             mlc_bits: 1,
+            mtj_delta_ref: None,
         }
     }
 
@@ -152,6 +197,7 @@ impl CellModel {
             endurance_writes: 1.0e16,
             nonvolatile: false,
             mlc_bits: 1,
+            mtj_delta_ref: None,
         }
     }
 
@@ -187,6 +233,7 @@ impl CellModel {
             endurance_writes: 1.0e16,
             nonvolatile: false,
             mlc_bits: 1,
+            mtj_delta_ref: None,
         }
     }
 
@@ -223,6 +270,8 @@ impl CellModel {
             endurance_writes: entry.endurance_writes,
             nonvolatile: true,
             mlc_bits: entry.mlc_bits,
+            mtj_delta_ref: (entry.technology == MemoryTechnology::SttRam)
+                .then_some(MTJ_DELTA_REF),
         }
     }
 
@@ -334,6 +383,62 @@ impl CellModel {
         self.technology.needs_refresh()
     }
 
+    /// Overrides the MTJ thermal-stability factor at the 350 K
+    /// reference (the Δ_ref of `Δ(T) = Δ_ref · T_ref / T`). Lowering it
+    /// models a stability-adjusted junction in the spirit of Garzón et
+    /// al.'s double-barrier MTJ — cheaper writes, shorter retention.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the cell is non-volatile (Δ only applies to
+    /// MTJ-style storage) or `delta_ref` is not strictly positive.
+    #[must_use]
+    pub fn with_thermal_stability(mut self, delta_ref: f64) -> Self {
+        assert!(
+            self.nonvolatile,
+            "thermal stability applies to non-volatile MTJ cells"
+        );
+        assert!(delta_ref > 0.0, "thermal stability must be positive");
+        self.mtj_delta_ref = Some(delta_ref);
+        self
+    }
+
+    /// The MTJ thermal-stability factor `Δ(T) = Δ_ref · T_ref / T`
+    /// (Garzón et al.), or `None` for cells without an MTJ storage
+    /// element.
+    #[must_use]
+    pub fn thermal_stability(&self, t: Kelvin) -> Option<f64> {
+        let delta_ref = self.mtj_delta_ref?;
+        Some(delta_ref * (Kelvin::REFERENCE.get() / t.get()))
+    }
+
+    /// The full Δ(T)-derived MTJ operating corner at temperature `t`,
+    /// or `None` for cells without an MTJ storage element.
+    #[must_use]
+    pub fn mtj_thermal(&self, t: Kelvin) -> Option<MtjThermal> {
+        let delta = self.thermal_stability(t)?;
+        Some(MtjThermal {
+            delta,
+            retention: Seconds::new(MTJ_ATTEMPT_TIME_S * delta.exp()),
+            write_energy_factor: self.write_energy_factor(t),
+            write_error_rate: (-delta).exp(),
+        })
+    }
+
+    /// Multiplier on [`CellModel::write_energy_cell`] at temperature
+    /// `t`: `1 + c · (T_ref/T − 1)` for MTJ cells — exactly `1.0` at
+    /// the 350 K reference, bit-for-bit — and `1.0` for every other
+    /// technology.
+    #[must_use]
+    pub fn write_energy_factor(&self, t: Kelvin) -> f64 {
+        match self.mtj_delta_ref {
+            Some(_) => {
+                1.0 + MTJ_WRITE_ENERGY_TEMP_COEFF * (Kelvin::REFERENCE.get() / t.get() - 1.0)
+            }
+            None => 1.0,
+        }
+    }
+
     /// Total leakage current of one cell at the given operating point.
     #[must_use]
     pub fn leakage_current(&self, node: &ProcessNode, op: &OperatingPoint) -> Amps {
@@ -356,13 +461,17 @@ impl CellModel {
         self.leakage_current(node, op) * op.vdd()
     }
 
-    /// Retention time of the storage node at the given operating point,
-    /// or `None` for technologies that do not decay.
+    /// Retention time of the cell at the given operating point, or
+    /// `None` for technologies that neither decay nor back-hop.
     ///
-    /// Retention is the time for the storage-node leakage to consume the
-    /// margin charge: `t = C dV / I_leak`.
+    /// For eDRAM storage nodes this is the time for the storage-node
+    /// leakage to consume the margin charge, `t = C dV / I_leak`; for
+    /// MTJ cells it is the Néel-Brown law `τ0 · exp(Δ(T))`.
     #[must_use]
     pub fn retention(&self, node: &ProcessNode, op: &OperatingPoint) -> Option<Seconds> {
+        if self.mtj_delta_ref.is_some() {
+            return self.mtj_thermal(op.temperature()).map(|m| m.retention);
+        }
         let storage = self.storage?;
         let to_um = 1e6;
         let (sub_width, boosted, plain) = match self.technology {
@@ -465,11 +574,69 @@ mod tests {
             for tp in Tentpole::BOTH {
                 let cell = CellModel::tentpole(tech, tp, &n);
                 assert_eq!(cell.leakage_power(&n, &op(350.0)).get(), 0.0);
-                assert!(cell.retention(&n, &op(350.0)).is_none());
+                if tech == MemoryTechnology::SttRam {
+                    // The MTJ models Δ(T) retention explicitly; the
+                    // survey default is astronomically long, never a
+                    // decay concern in the legal temperature span.
+                    let ret = cell.retention(&n, &op(350.0)).unwrap();
+                    assert!(ret.get() > 1e10, "STT retention = {ret}");
+                } else {
+                    assert!(cell.retention(&n, &op(350.0)).is_none());
+                }
                 assert!(cell.is_nonvolatile());
                 assert_eq!(cell.tentpole_kind(), Some(tp));
             }
         }
+    }
+
+    #[test]
+    fn mtj_delta_retention_and_write_energy_are_monotone_in_temperature() {
+        let n = node();
+        for tp in Tentpole::BOTH {
+            let cell = CellModel::tentpole(MemoryTechnology::SttRam, tp, &n);
+            let corners: Vec<MtjThermal> = [77.0, 127.0, 227.0, 300.0, 350.0, 400.0]
+                .iter()
+                .map(|&t| cell.mtj_thermal(Kelvin::new(t)).unwrap())
+                .collect();
+            for pair in corners.windows(2) {
+                let (cold, warm) = (&pair[0], &pair[1]);
+                assert!(cold.delta > warm.delta);
+                assert!(cold.retention > warm.retention);
+                assert!(cold.write_energy_factor > warm.write_energy_factor);
+                assert!(cold.write_error_rate < warm.write_error_rate);
+            }
+        }
+    }
+
+    #[test]
+    fn mtj_write_energy_factor_is_exactly_one_at_reference() {
+        let n = node();
+        let cell = CellModel::tentpole(MemoryTechnology::SttRam, Tentpole::Optimistic, &n);
+        assert_eq!(cell.write_energy_factor(Kelvin::REFERENCE), 1.0);
+        assert!(cell.write_energy_factor(Kelvin::LN2) > 1.5);
+        assert!(cell.write_energy_factor(Kelvin::new(400.0)) < 1.0);
+        // Non-MTJ cells are temperature-flat.
+        let pcm = CellModel::tentpole(MemoryTechnology::Pcm, Tentpole::Optimistic, &n);
+        assert_eq!(pcm.write_energy_factor(Kelvin::LN2), 1.0);
+        assert!(pcm.mtj_thermal(Kelvin::LN2).is_none());
+        assert!(CellModel::sram(&n).thermal_stability(Kelvin::LN2).is_none());
+    }
+
+    #[test]
+    fn adjusted_thermal_stability_shortens_retention() {
+        let n = node();
+        let cell = CellModel::tentpole(MemoryTechnology::SttRam, Tentpole::Optimistic, &n)
+            .with_thermal_stability(30.0);
+        let m = cell.mtj_thermal(Kelvin::REFERENCE).unwrap();
+        assert!((m.delta - 30.0).abs() < 1e-12);
+        // τ0 · e^30 ≈ 1.1e4 s (~3 hours): short enough that the array
+        // layer must scrub, which is exactly what the knob is for.
+        assert!(m.retention.get() > 1.0e3 && m.retention.get() < 1.0e5);
+        let op77 = op(77.0);
+        assert_eq!(
+            cell.retention(&n, &op77).unwrap(),
+            cell.mtj_thermal(Kelvin::LN2).unwrap().retention
+        );
     }
 
     #[test]

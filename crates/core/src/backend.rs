@@ -7,16 +7,27 @@
 //! [`CharacterizationBackend`] trait with a capability descriptor, the
 //! two concrete backends ([`CryoMemBackend`], [`DestinyBackend`]), and
 //! a [`BackendRegistry`] that resolves every [`MemoryConfig`] to
-//! *exactly one* backend — zero or several claimants are typed errors
-//! ([`Error::NoBackend`] / [`Error::BackendConflict`]), never a silent
-//! pick.
+//! *exactly one* backend — never a silent pick.
 //!
-//! The two default backends partition the design space by volatility
-//! and stack height, so resolution is unambiguous by construction:
-//! CryoMEM owns single-die volatile memories across the legal 60-400 K
-//! span (the paper sweeps 77-400 K; the device models extrapolate to
-//! the tool's lower legal bound), Destiny owns every non-volatile
-//! technology plus stacked (multi-die) volatile arrays.
+//! Backends are allowed to overlap. When several claim a point,
+//! resolution applies two rules in order:
+//!
+//! 1. **Specificity** — a claimant whose [`BackendCapabilities`]
+//!    strictly contain another claimant's yields to the more specific
+//!    backend (the generalist defers to the specialist).
+//! 2. **Priority** — among the surviving claimants, the unique highest
+//!    registration priority wins.
+//!
+//! Zero claimants is [`Error::NoBackend`]; a priority tie among the
+//! survivors is [`Error::BackendConflict`], naming *every* claimant so
+//! the ambiguity is auditable. The default registry registers CryoMEM
+//! above Destiny: both claim single-die SRAM (neither's capabilities
+//! contain the other's), and priority routes that overlap to CryoMEM —
+//! exactly the partition the old exclusive registry enforced, point
+//! for point. CryoMEM covers single-die volatile memories across the
+//! legal 60-400 K span (the paper sweeps 77-400 K; the device models
+//! extrapolate to the tool's lower legal bound); Destiny covers every
+//! non-volatile technology plus stacked (multi-die) SRAM.
 
 #![deny(missing_docs)]
 
@@ -44,9 +55,10 @@ const MAX_TEMPERATURE_K: f64 = 400.0;
 /// temperature span, and the die counts it models.
 ///
 /// [`BackendCapabilities::supports`] is the default admission check;
-/// backends with constraints the descriptor cannot express (e.g.
-/// "volatile only when single-die") additionally override
-/// [`CharacterizationBackend::supports`].
+/// backends with constraints the descriptor cannot express
+/// additionally override [`CharacterizationBackend::supports`]. The
+/// descriptor also drives the resolution policy's specificity rule
+/// ([`BackendCapabilities::strictly_contains`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BackendCapabilities {
     technologies: Vec<MemoryTechnology>,
@@ -104,6 +116,29 @@ impl BackendCapabilities {
             && self.die_counts.contains(&config.dies())
             && config.temperature() >= self.min_temperature
             && config.temperature() <= self.max_temperature
+    }
+
+    /// Whether `self` admits every point `other` admits: a superset on
+    /// all three axes (technologies, temperature span, die counts).
+    #[must_use]
+    pub fn contains(&self, other: &Self) -> bool {
+        other
+            .technologies
+            .iter()
+            .all(|t| self.technologies.contains(t))
+            && other.die_counts.iter().all(|d| self.die_counts.contains(d))
+            && self.min_temperature <= other.min_temperature
+            && self.max_temperature >= other.max_temperature
+    }
+
+    /// Strict containment: `self` admits everything `other` does, and
+    /// `other` does not admit everything `self` does. This is the
+    /// specificity relation of the resolution policy — the strictly
+    /// containing (more general) backend yields to the contained (more
+    /// specific) one.
+    #[must_use]
+    pub fn strictly_contains(&self, other: &Self) -> bool {
+        self.contains(other) && !other.contains(self)
     }
 }
 
@@ -289,14 +324,6 @@ impl CharacterizationBackend for DestinyBackend {
         )
     }
 
-    fn supports(&self, config: &MemoryConfig) -> bool {
-        // Single-die volatile memories are CryoMEM's domain; Destiny
-        // claims every non-volatile point and *stacked* volatile ones,
-        // keeping the default registry's partition disjoint.
-        self.capabilities().supports(config)
-            && (config.technology().is_nonvolatile() || config.dies() > 1)
-    }
-
     fn characterize_batch(
         &self,
         geometry_key: &DesignPointKey,
@@ -328,33 +355,69 @@ impl CharacterizationBackend for DestinyBackend {
 #[derive(Debug, Clone, Default)]
 pub struct BackendRegistry {
     backends: Vec<Arc<dyn CharacterizationBackend>>,
+    priorities: Vec<i32>,
 }
 
 impl BackendRegistry {
+    /// The priority [`BackendRegistry::register`] assigns when none is
+    /// given explicitly.
+    pub const DEFAULT_PRIORITY: i32 = 0;
+
+    /// The priority [`BackendRegistry::with_defaults`] gives CryoMEM,
+    /// above [`DestinyBackend`]'s [`Self::DEFAULT_PRIORITY`]: both
+    /// default backends claim single-die SRAM, and priority routes the
+    /// overlap to the cryo engine — preserving the historical
+    /// partition.
+    pub const CRYOMEM_PRIORITY: i32 = 10;
+
     /// An empty registry. Resolution against it always fails with
     /// [`Error::NoBackend`]; register backends first.
     #[must_use]
     pub fn new() -> Self {
         Self {
             backends: Vec::new(),
+            priorities: Vec::new(),
         }
     }
 
-    /// The paper's two engines: [`CryoMemBackend`] and
-    /// [`DestinyBackend`].
+    /// The paper's two engines: [`CryoMemBackend`] (at
+    /// [`Self::CRYOMEM_PRIORITY`]) and [`DestinyBackend`] (at
+    /// [`Self::DEFAULT_PRIORITY`]).
     #[must_use]
     pub fn with_defaults() -> Self {
         let mut registry = Self::new();
-        registry.register(Arc::new(CryoMemBackend));
+        registry.register_with_priority(Arc::new(CryoMemBackend), Self::CRYOMEM_PRIORITY);
         registry.register(Arc::new(DestinyBackend));
         registry
     }
 
-    /// Registers a backend. Later registrations do not shadow earlier
-    /// ones — an overlap is reported as [`Error::BackendConflict`] at
-    /// resolution time, not resolved by order.
+    /// Registers a backend at [`Self::DEFAULT_PRIORITY`]. Registration
+    /// order never decides resolution — overlap is settled by the
+    /// specificity-then-priority policy of
+    /// [`BackendRegistry::resolve`], and a genuine tie is reported as
+    /// [`Error::BackendConflict`], never broken silently.
     pub fn register(&mut self, backend: Arc<dyn CharacterizationBackend>) {
+        self.register_with_priority(backend, Self::DEFAULT_PRIORITY);
+    }
+
+    /// Registers a backend at an explicit resolution priority. Higher
+    /// wins among claimants that specificity does not separate.
+    pub fn register_with_priority(
+        &mut self,
+        backend: Arc<dyn CharacterizationBackend>,
+        priority: i32,
+    ) {
         self.backends.push(backend);
+        self.priorities.push(priority);
+    }
+
+    /// The resolution priority of the named backend, if registered.
+    #[must_use]
+    pub fn priority(&self, name: &str) -> Option<i32> {
+        self.backends
+            .iter()
+            .position(|b| b.name() == name)
+            .map(|i| self.priorities[i])
     }
 
     /// The registered backends, in registration order.
@@ -369,13 +432,19 @@ impl BackendRegistry {
         self.backends.iter().find(|b| b.name() == name)
     }
 
-    /// Resolves `config` to the one backend that claims it.
+    /// Resolves `config` to exactly one backend.
+    ///
+    /// When several backends claim the point, specificity applies
+    /// first — a claimant whose [`BackendCapabilities`] strictly
+    /// contain another claimant's yields to the more specific one —
+    /// then the unique highest-priority survivor wins.
     ///
     /// # Errors
     ///
     /// Returns [`Error::NoBackend`] if no registered backend claims the
     /// configuration, or [`Error::BackendConflict`] naming every
-    /// claimant if more than one does.
+    /// claimant if specificity and priority leave the overlap
+    /// ambiguous.
     pub fn resolve(&self, config: &MemoryConfig) -> Result<&Arc<dyn CharacterizationBackend>, Error> {
         self.resolve_index(config).map(|i| &self.backends[i])
     }
@@ -383,28 +452,53 @@ impl BackendRegistry {
     /// [`BackendRegistry::resolve`], returning the registration index
     /// (used by the explorer to address per-backend telemetry).
     pub(crate) fn resolve_index(&self, config: &MemoryConfig) -> Result<usize, Error> {
-        let mut claimants = self
+        let claimants: Vec<usize> = self
             .backends
             .iter()
             .enumerate()
             .filter(|(_, b)| b.supports(config))
-            .map(|(i, _)| i);
-        let Some(first) = claimants.next() else {
-            return Err(Error::NoBackend {
+            .map(|(i, _)| i)
+            .collect();
+        match claimants.as_slice() {
+            [] => Err(Error::NoBackend {
                 config: config.label(),
-            });
-        };
-        let rest: Vec<usize> = claimants.collect();
-        if rest.is_empty() {
-            Ok(first)
-        } else {
-            Err(Error::BackendConflict {
-                config: config.label(),
-                backends: std::iter::once(first)
-                    .chain(rest)
-                    .map(|i| self.backends[i].name().to_string())
-                    .collect(),
-            })
+            }),
+            [only] => Ok(*only),
+            _ => {
+                // Specificity: drop every claimant whose capabilities
+                // strictly contain another claimant's. Strict
+                // containment is a strict partial order, so at least
+                // one (minimal) claimant always survives.
+                let survivors: Vec<usize> = claimants
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        !claimants.iter().any(|&j| {
+                            j != i
+                                && self.backends[i]
+                                    .capabilities()
+                                    .strictly_contains(&self.backends[j].capabilities())
+                        })
+                    })
+                    .collect();
+                let best = survivors
+                    .iter()
+                    .copied()
+                    .map(|i| self.priorities[i])
+                    .max()
+                    .expect("specificity keeps at least one claimant");
+                let mut winners = survivors.iter().filter(|&&i| self.priorities[i] == best);
+                match (winners.next(), winners.next()) {
+                    (Some(&index), None) => Ok(index),
+                    _ => Err(Error::BackendConflict {
+                        config: config.label(),
+                        backends: claimants
+                            .iter()
+                            .map(|&i| self.backends[i].name().to_string())
+                            .collect(),
+                    }),
+                }
+            }
         }
     }
 }
@@ -523,7 +617,11 @@ mod tests {
         let err = BackendRegistry::new().resolve(&config).unwrap_err();
         assert!(matches!(err, Error::NoBackend { .. }), "{err}");
 
-        let mut overlapping = BackendRegistry::with_defaults();
+        // Two identical backends at the same priority: specificity
+        // cannot separate equal capabilities and priority ties, so the
+        // overlap stays a typed error naming every claimant.
+        let mut overlapping = BackendRegistry::new();
+        overlapping.register(Arc::new(CryoMemBackend));
         overlapping.register(Arc::new(CryoMemBackend));
         let err = overlapping.resolve(&config).unwrap_err();
         match err {
@@ -532,6 +630,50 @@ mod tests {
             }
             other => panic!("expected a conflict, got {other}"),
         }
+    }
+
+    #[test]
+    fn capability_containment_is_a_strict_partial_order() {
+        let cryo = CryoMemBackend.capabilities();
+        let destiny = DestinyBackend.capabilities();
+        // The default backends overlap (single-die SRAM) but neither
+        // contains the other: CryoMEM models the eDRAMs, Destiny the
+        // eNVMs.
+        assert!(!cryo.strictly_contains(&destiny));
+        assert!(!destiny.strictly_contains(&cryo));
+        // Equal capabilities contain each other, never strictly.
+        assert!(cryo.contains(&cryo));
+        assert!(!cryo.strictly_contains(&cryo.clone()));
+        // A narrowed descriptor is strictly contained.
+        let narrow = BackendCapabilities::new(
+            vec![MemoryTechnology::Sram],
+            Kelvin::new(70.0),
+            Kelvin::new(300.0),
+            vec![1],
+        );
+        assert!(cryo.strictly_contains(&narrow));
+        assert!(!narrow.strictly_contains(&cryo));
+    }
+
+    #[test]
+    fn default_overlap_resolves_to_cryomem_by_priority() {
+        // Both default backends claim single-die SRAM; the registry
+        // routes it to CryoMEM by priority, preserving the historical
+        // partition.
+        let registry = BackendRegistry::with_defaults();
+        let config = MemoryConfig::sram_77k();
+        assert!(CryoMemBackend.supports(&config));
+        assert!(DestinyBackend.supports(&config));
+        assert_eq!(registry.resolve(&config).unwrap().name(), "cryomem");
+        assert_eq!(
+            registry.priority("cryomem"),
+            Some(BackendRegistry::CRYOMEM_PRIORITY)
+        );
+        assert_eq!(
+            registry.priority("destiny"),
+            Some(BackendRegistry::DEFAULT_PRIORITY)
+        );
+        assert_eq!(registry.priority("nvsim"), None);
     }
 
     #[test]

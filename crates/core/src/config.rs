@@ -330,6 +330,29 @@ impl MemoryConfig {
         }
         set
     }
+
+    /// The cryogenic-NVM study region: STT-RAM at both tentpoles,
+    /// every die count, across the study temperature ladder (77-387 K,
+    /// inside the backends' 60-400 K span). This is the design space
+    /// the Δ(T) thermal-stability model (`coldtall-cell`) exercises:
+    /// unlike the room-temperature [`MemoryConfig::study_set`], every
+    /// point here carries an explicit operating temperature, so write
+    /// energy and retention shift with Δ(T) = Δ_ref · (T_ref / T).
+    #[must_use]
+    pub fn cryo_stt_study_set() -> Vec<Self> {
+        let mut set = Vec::new();
+        for tentpole in Tentpole::BOTH {
+            for dies in Self::VALID_DIES {
+                for &t in coldtall_cryo::study_temperatures() {
+                    set.push(
+                        Self::envm_3d(MemoryTechnology::SttRam, tentpole, dies)
+                            .at_temperature(t),
+                    );
+                }
+            }
+        }
+        set
+    }
 }
 
 impl fmt::Display for MemoryConfig {
@@ -358,6 +381,31 @@ mod tests {
         assert_eq!(set.len(), 4 + 3 + 24);
         assert!(set.iter().any(|c| c.label() == "8-die PCM (optimistic)"));
         assert!(set.iter().any(|c| c.is_cryogenic()));
+    }
+
+    #[test]
+    fn cryo_stt_study_set_covers_the_region() {
+        let set = MemoryConfig::cryo_stt_study_set();
+        // 2 tentpoles x 4 die counts x 8 study temperatures.
+        assert_eq!(set.len(), 2 * 4 * 8);
+        assert!(set.iter().all(|c| c.technology() == MemoryTechnology::SttRam));
+        assert!(set.iter().any(|c| c.is_cryogenic()));
+        assert!(set.iter().any(|c| c.dies() == 8));
+        // Every point is reachable through the frontend constructor.
+        for config in &set {
+            let tentpole = match config.tentpole() {
+                Tentpole::Optimistic => "opt",
+                Tentpole::Pessimistic => "pess",
+            };
+            let rebuilt = MemoryConfig::try_design_point(
+                "stt-ram",
+                tentpole,
+                config.dies(),
+                config.temperature(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", config.label()));
+            assert_eq!(&rebuilt, config);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The exploration driver: configurations x benchmarks.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use coldtall_array::{ArrayCharacterization, ArraySpec, Objective};
 use coldtall_cell::CellModel;
@@ -74,16 +74,29 @@ pub struct Explorer {
     backends: BackendRegistry,
     /// Telemetry handles aligned with `backends.backends()` by index.
     backend_stats: Vec<BackendStats>,
+    /// Resolved backend per cached design point (canonical key →
+    /// backend name), written alongside cache publishes and replay
+    /// imports so the serve run registry can persist the routing
+    /// decision per key.
+    resolved_names: Mutex<HashMap<String, String>>,
     /// Work-avoidance telemetry of the adaptive search
     /// ([`Explorer::search`]); registered eagerly so counter *sets* are
     /// identical whether or not a search ever ran.
     search_metrics: SearchMetrics,
 }
 
-/// Per-backend telemetry: how many characterizations the registry
-/// dispatched to the backend, and where their wall-clock went.
+/// Per-backend telemetry: how many design points the resolution policy
+/// routed to the backend, how many characterizations were dispatched,
+/// and where their wall-clock went.
 #[derive(Debug)]
 struct BackendStats {
+    /// Successful resolutions the explorer performed on the backend's
+    /// behalf (`backend.<name>.resolved`): the eager baseline,
+    /// per-point dispatches, hybrid capacity scaling, and one per job
+    /// at plan compilation. Overlap resolution is auditable here —
+    /// a point silently rerouted by a policy change moves between
+    /// these counters.
+    resolved: Arc<Counter>,
     /// Dispatched characterizations (`backend.<name>.characterizations`).
     characterizations: Arc<Counter>,
     /// Latency histogram of those dispatches (span `backend.<name>`).
@@ -93,6 +106,7 @@ struct BackendStats {
 impl BackendStats {
     fn registered(registry: &Registry, name: &str) -> Self {
         Self {
+            resolved: registry.counter(&format!("backend.{name}.resolved")),
             characterizations: registry.counter(&format!("backend.{name}.characterizations")),
             span: registry.span(&format!("backend.{name}")),
         }
@@ -232,6 +246,7 @@ impl Explorer {
             .collect();
         let baseline_config = MemoryConfig::sram_350k();
         let index = backends.resolve_index(&baseline_config)?;
+        backend_stats[index].resolved.inc();
         backend_stats[index].characterizations.inc();
         let baseline = {
             let _span = Span::enter(backend_stats[index].span.clone());
@@ -255,6 +270,7 @@ impl Explorer {
             metrics: ExplorerMetrics::registered(registry),
             backends,
             backend_stats,
+            resolved_names: Mutex::new(HashMap::new()),
             search_metrics: SearchMetrics::registered(registry),
         })
     }
@@ -318,6 +334,29 @@ impl Explorer {
         self.cache.insert(key, value)
     }
 
+    /// The backend name resolution routed `key` to, if this explorer
+    /// characterized the point (or a replay recorded its routing).
+    #[must_use]
+    pub fn resolved_backend(&self, key: &DesignPointKey) -> Option<String> {
+        self.resolved_names
+            .lock()
+            .ok()?
+            .get(key.canonical())
+            .cloned()
+    }
+
+    /// Records which backend served `key` — the write half of
+    /// [`Explorer::resolved_backend`]. Called internally on every cache
+    /// publish and by run-registry replay so routing survives
+    /// restarts. First note wins, mirroring the cache's
+    /// first-publication-wins rule.
+    pub fn note_resolved_backend(&self, key: &DesignPointKey, backend: &str) {
+        if let Ok(mut map) = self.resolved_names.lock() {
+            map.entry(key.canonical().to_string())
+                .or_insert_with(|| backend.to_string());
+        }
+    }
+
     /// The geometry cache feeding the batched execution paths.
     #[must_use]
     pub fn geometry_cache(&self) -> &GeometryCache {
@@ -337,12 +376,14 @@ impl Explorer {
     /// have the documented precondition that their configurations
     /// resolve; [`Explorer::try_characterize`] and the plan compiler
     /// surface the typed error instead.
-    fn dispatch(&self, config: &MemoryConfig) -> ArrayCharacterization {
+    fn dispatch(&self, key: &DesignPointKey, config: &MemoryConfig) -> ArrayCharacterization {
         let index = self
             .backends
             .resolve_index(config)
             .unwrap_or_else(|e| panic!("{e}"));
+        self.backend_stats[index].resolved.inc();
         self.backend_stats[index].characterizations.inc();
+        self.note_resolved_backend(key, self.backends.backends()[index].name());
         let _span = Span::enter(self.backend_stats[index].span.clone());
         self.backends.backends()[index].characterize(config, &self.node, self.objective)
     }
@@ -382,7 +423,7 @@ impl Explorer {
             // dispatch here; the batched paths count one per batch).
             self.metrics.characterize_dispatches.inc();
             let _span = Span::enter(self.metrics.characterize_span.clone());
-            self.dispatch(config)
+            self.dispatch(key, config)
         })
     }
 
@@ -403,6 +444,7 @@ impl Explorer {
             .lower(config, &self.node)
             .with_capacity(capacity);
         let cell = spec.cell().clone();
+        self.backend_stats[index].resolved.inc();
         self.backend_stats[index].characterizations.inc();
         let _span = Span::enter(self.backend_stats[index].span.clone());
         (spec.characterize(self.objective), cell)
@@ -547,7 +589,15 @@ impl Explorer {
     /// Returns [`Error::NoBackend`] / [`Error::BackendConflict`] if
     /// some configuration does not resolve to exactly one backend.
     pub fn plan_sweep(&self, configs: &[MemoryConfig]) -> Result<ExecutionPlan, Error> {
-        SweepPlan::new(configs.to_vec()).compile(&self.backends)
+        let plan = SweepPlan::new(configs.to_vec()).compile(&self.backends)?;
+        // Attribute each job's compile-time resolution to its backend —
+        // pure plan arithmetic, deterministic under any thread count.
+        for job in plan.jobs() {
+            self.backend_stats[self.backend_position(job.backend())]
+                .resolved
+                .inc();
+        }
+        Ok(plan)
     }
 
     /// Evaluates the full study: every configuration of
@@ -690,6 +740,7 @@ impl Explorer {
         );
         for (job, result) in missing.iter().zip(results) {
             let _ = self.cache.insert(job.key(), result);
+            self.note_resolved_backend(job.key(), job.backend());
         }
     }
 
@@ -988,6 +1039,7 @@ impl Explorer {
         );
         for result in results {
             let _ = self.cache.insert(key, result);
+            self.note_resolved_backend(key, self.backends.backends()[backend_index].name());
         }
     }
 

@@ -35,7 +35,11 @@ use crate::proto::escape;
 
 /// The record schema this build writes and replays. Bump when the
 /// field set changes; replay skips records from other versions.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `backend` field: the registry-resolved backend per
+/// design-point key, so the routing decision is persisted alongside
+/// the characterization it produced.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Counters from one registry replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -128,6 +132,7 @@ impl RunRegistry {
         &self,
         plan_hash: u64,
         key: &DesignPointKey,
+        backend: &str,
         value: &ArrayCharacterization,
     ) -> io::Result<bool> {
         let mut inner = self.inner.lock().expect("registry lock poisoned");
@@ -135,7 +140,7 @@ impl RunRegistry {
         if inner.seen.contains(&id) {
             return Ok(false);
         }
-        let line = render_record(plan_hash, key, value);
+        let line = render_record(plan_hash, key, backend, value);
         inner.writer.write_all(line.as_bytes())?;
         inner.writer.write_all(b"\n")?;
         inner.writer.flush()?;
@@ -153,7 +158,12 @@ impl RunRegistry {
     pub fn sync_from(&self, explorer: &Explorer, plan_hash: u64) -> io::Result<u64> {
         let mut appended = 0;
         for (key, value) in explorer.cached_entries() {
-            if self.record(plan_hash, &key, &value)? {
+            // Every cache publish notes its routing; "unknown" is a
+            // defensive fallback, not an expected value.
+            let backend = explorer
+                .resolved_backend(&key)
+                .unwrap_or_else(|| "unknown".to_string());
+            if self.record(plan_hash, &key, &backend, &value)? {
                 appended += 1;
             }
         }
@@ -201,6 +211,7 @@ pub fn replay_file(path: &Path, explorer: &Explorer) -> io::Result<ReplayStats> 
             continue;
         }
         explorer.import_characterization(&record.key, record.value);
+        explorer.note_resolved_backend(&record.key, &record.backend);
         stats.replayed += 1;
     }
     Ok(stats)
@@ -210,19 +221,26 @@ pub fn replay_file(path: &Path, explorer: &Explorer) -> io::Result<ReplayStats> 
 struct Record {
     plan: u64,
     key: DesignPointKey,
+    backend: String,
     value: ArrayCharacterization,
 }
 
 /// Renders one record line (no trailing newline). Floats go out as
 /// their exact bit pattern in hex.
-fn render_record(plan_hash: u64, key: &DesignPointKey, a: &ArrayCharacterization) -> String {
+fn render_record(
+    plan_hash: u64,
+    key: &DesignPointKey,
+    backend: &str,
+    a: &ArrayCharacterization,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(512);
     let _ = write!(
         out,
         "{{\"schema\":{SCHEMA_VERSION},\"plan\":\"{plan_hash:016x}\",\"kind\":\"char\",\
-         \"key\":\"{}\"",
-        escape(key.canonical())
+         \"key\":\"{}\",\"backend\":\"{}\"",
+        escape(key.canonical()),
+        escape(backend)
     );
     let bits = |out: &mut String, name: &str, v: f64| {
         let _ = write!(out, ",\"{name}\":\"{:016x}\"", v.to_bits());
@@ -276,6 +294,10 @@ fn parse_record(line: &str) -> Option<Record> {
         Some(Value::String(s)) if !s.is_empty() => DesignPointKey::from_canonical(s.clone()),
         _ => return None,
     };
+    let backend = match fields.get("backend") {
+        Some(Value::String(s)) if !s.is_empty() => s.clone(),
+        _ => return None,
+    };
     let bits = |name: &str| -> Option<f64> { f64_bits(fields.get(name)?) };
     let retention = match fields.get("retention") {
         Some(Value::Null) => None,
@@ -317,7 +339,12 @@ fn parse_record(line: &str) -> Option<Record> {
         read_cycle_time: Seconds::new(bits("read_cycle")?),
         write_cycle_time: Seconds::new(bits("write_cycle")?),
     };
-    Some(Record { plan, key, value })
+    Some(Record {
+        plan,
+        key,
+        backend,
+        value,
+    })
 }
 
 /// Decodes a 16-hex-digit bit-pattern string into the exact `f64`.
@@ -367,9 +394,9 @@ mod tests {
 
         let path = temp_path("roundtrip");
         let registry = RunRegistry::open(&path).unwrap();
-        assert!(registry.record(7, &key, &original).unwrap());
+        assert!(registry.record(7, &key, "cryomem", &original).unwrap());
         // Same (plan, key) again is a dedup no-op.
-        assert!(!registry.record(7, &key, &original).unwrap());
+        assert!(!registry.record(7, &key, "cryomem", &original).unwrap());
         assert_eq!(registry.len(), 1);
 
         let fresh = Explorer::with_defaults();
@@ -384,6 +411,8 @@ mod tests {
         );
         let cached = fresh.cached_entries();
         assert_eq!(cached.len(), 1);
+        // Replay restores the routing record alongside the value.
+        assert_eq!(fresh.resolved_backend(&key).as_deref(), Some("cryomem"));
         assert_eq!(cached[0].0.canonical(), key.canonical());
         assert_eq!(cached[0].0.stable_hash(), key.stable_hash());
         // Bit-identity, not approximate equality.
@@ -404,14 +433,18 @@ mod tests {
         let key = DesignPointKey::of_config(&config);
 
         let path = temp_path("corrupt");
-        let good = render_record(1, &key, &array);
+        let good = render_record(1, &key, "cryomem", &array);
         let truncated = &good[..good.len() / 2];
-        let wrong_schema = good.replacen("\"schema\":1", "\"schema\":99", 1);
+        let wrong_schema = good.replacen("\"schema\":2", "\"schema\":99", 1);
+        // A v1 record (no backend field) is foreign, not fatal.
+        let v1_record = good
+            .replacen("\"schema\":2", "\"schema\":1", 1)
+            .replacen(",\"backend\":\"cryomem\"", "", 1);
         // Non-power-of-two geometry must be rejected before the
         // Organization constructor can panic on it.
         let bad_org = good.replacen("\"org\":[", "\"org\":[3,", 1);
         let contents = format!(
-            "{good}\nnot json at all\n{truncated}\n{wrong_schema}\n{bad_org}\n{good}\n"
+            "{good}\nnot json at all\n{truncated}\n{wrong_schema}\n{v1_record}\n{bad_org}\n{good}\n"
         );
         std::fs::write(&path, contents).unwrap();
 
@@ -419,7 +452,7 @@ mod tests {
         let stats = replay_file(&path, &fresh).unwrap();
         assert_eq!(stats.replayed, 1);
         assert_eq!(stats.duplicates, 1); // the repeated good line
-        assert_eq!(stats.skipped, 4);
+        assert_eq!(stats.skipped, 5);
         assert_eq!(fresh.cached_entries().len(), 1);
 
         let _ = std::fs::remove_file(&path);
@@ -464,10 +497,12 @@ mod tests {
         let array = explorer.characterize(&config);
         assert!(array.retention.is_none(), "SRAM has no retention limit");
         let key = DesignPointKey::of_config(&config);
-        let line = render_record(3, &key, &array);
+        let line = render_record(3, &key, "cryomem", &array);
         assert!(line.contains("\"retention\":null"));
+        assert!(line.contains("\"backend\":\"cryomem\""));
         let record = parse_record(&line).expect("well-formed record");
         assert_eq!(record.value, array);
         assert_eq!(record.plan, 3);
+        assert_eq!(record.backend, "cryomem");
     }
 }

@@ -37,6 +37,13 @@ cargo test -q --test search perf_smoke
 # subprocess-spawning suite.
 cargo test -q --test serve concurrent_tcp_clients_get_bit_identical_responses
 cargo test -q --test serve registry_replay_warms_a_fresh_daemon_bit_identically
+# The cryo-NVM gates: every study artifact (including the Δ(T)
+# STT-MRAM region study) must regenerate byte-identically to its
+# golden under results/, and the adaptive search over the cryo-STT
+# region (77-387 K x 1-8 dies, both tentpoles) must match the
+# exhaustive sweep's frontier bit-for-bit while still skipping work.
+cargo test -q --test golden_results artifacts_match_golden_files
+cargo test -q --test search cryo_stt_region_search_matches_exhaustive
 cargo clippy --workspace --all-targets -- -D warnings
 # Documentation is part of the API surface: a broken intra-doc link or
 # an undocumented public item on the strict modules fails the gate.

@@ -194,8 +194,9 @@ fn write_usage(out: &mut String) {
          SEARCH OPTIONS:\n\
          \x20 --tech <name>                      restrict the region to one technology\n\
          \x20 --dies <1|2|4|8>                   restrict the region to one die count\n\
-         \x20 --temps <study|kelvin>             expand over the study's 8 temperatures,\n\
-         \x20                                    or re-pin the region to one temperature\n\
+         \x20 --temps <study|kelvin|lo:hi>       expand over the study's 8 temperatures,\n\
+         \x20                                    re-pin the region to one temperature, or\n\
+         \x20                                    expand over the ladder inside lo:hi kelvin\n\
          \x20 --objective <power|latency|area>   also report the frontier point\n\
          \x20                                    minimizing this coordinate\n\
          \x20 --max-latency <x>                  relative-latency cap\n\
@@ -337,15 +338,20 @@ fn check_backend(opts: &Options, explorer: &Explorer, config: &MemoryConfig) -> 
 
 fn cmd_backends(out: &mut String) -> Result<(), String> {
     let registry = BackendRegistry::with_defaults();
-    let mut table = TextTable::new(&["backend", "technologies", "temperature", "dies"]);
+    let mut table =
+        TextTable::new(&["backend", "priority", "technologies", "temperature", "dies"]);
     for backend in registry.backends() {
         let caps = backend.capabilities();
         let technologies: Vec<&str> =
             caps.technologies().iter().map(|t| t.name()).collect();
         let dies: Vec<String> =
             caps.die_counts().iter().map(u8::to_string).collect();
+        let priority = registry
+            .priority(backend.name())
+            .expect("registered backends have a priority");
         table.row_owned(vec![
             backend.name().to_string(),
+            priority.to_string(),
             technologies.join(", "),
             format!(
                 "{:.0}-{:.0} K",
@@ -533,10 +539,42 @@ fn cmd_search(opts: &Options, out: &mut String) -> Result<(), String> {
                 .collect();
             region.push("study temperatures".to_string());
         }
+        // `lo:hi` expands over the study temperatures inside the
+        // range — `--temps 77:400` walks the full cryo-to-hot ladder.
+        Some(range) if range.contains(':') => {
+            let (lo, hi) = range
+                .split_once(':')
+                .expect("checked for ':' above");
+            let lo: f64 = lo.parse().map_err(|_| "bad --temps range".to_string())?;
+            let hi: f64 = hi.parse().map_err(|_| "bad --temps range".to_string())?;
+            if !(60.0..=400.0).contains(&lo) || !(60.0..=400.0).contains(&hi) || lo > hi {
+                return Err(
+                    "--temps lo:hi needs 60 <= lo <= hi <= 400 kelvin".into()
+                );
+            }
+            let ladder: Vec<Kelvin> = coldtall::cryo::study_temperatures()
+                .iter()
+                .copied()
+                .filter(|t| (lo..=hi).contains(&t.get()))
+                .collect();
+            if ladder.is_empty() {
+                return Err(format!(
+                    "--temps {range}: no study temperature falls in that range \
+                     (the ladder spans 77-387 K)"
+                ));
+            }
+            configs = configs
+                .iter()
+                .flat_map(|c| ladder.iter().map(|&t| c.clone().at_temperature(t)))
+                .collect();
+            region.push(format!("{range} K"));
+        }
         Some(t) => {
             let kelvin: f64 = t.parse().map_err(|_| "bad --temps value".to_string())?;
             if !(60.0..=400.0).contains(&kelvin) {
-                return Err("--temps must be 'study' or between 60 and 400 kelvin".into());
+                return Err(
+                    "--temps must be 'study', a kelvin value, or a lo:hi range".into()
+                );
             }
             let kelvin = Kelvin::try_new(kelvin).map_err(|e| e.to_string())?;
             configs = configs

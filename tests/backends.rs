@@ -4,13 +4,19 @@
 //! the crate:
 //!
 //! * the default registry resolves every study design point to exactly
-//!   one backend, partitioned by volatility and stack height,
+//!   one backend — the default backends overlap on single-die SRAM and
+//!   priority routes it to CryoMEM, reproducing the historical
+//!   partition point for point (the migration test),
+//! * overlap resolution is principled: priority breaks specificity
+//!   ties, a strictly-containing capability set yields to the more
+//!   specific backend, and a genuinely ambiguous overlap is a typed
+//!   error naming every claimant,
 //! * dispatching through the trait is bit-identical to the pre-refactor
 //!   direct `to_spec().characterize()` path, for every study point,
 //! * a full study sweep (study set x SPEC2017) produces byte-identical
 //!   rows under a 1-thread and a 4-thread worker pool,
-//! * zero-backend and overlapping registries surface typed errors —
-//!   never a panic, never a silent pick,
+//! * `--backend` pinning overrides the policy as an assertion: a pin
+//!   that contradicts resolution exits 1, it never reroutes,
 //! * a mock backend registered at test time flows its (doctored)
 //!   output and its per-backend telemetry through the explorer.
 
@@ -141,18 +147,191 @@ fn zero_backend_registry_is_a_typed_error_never_a_panic() {
     assert!(matches!(err, Error::NoBackend { .. }), "{err}");
 }
 
+/// A capability-only backend for resolution-policy tests; the default
+/// trait methods supply characterization, which these tests never call.
+#[derive(Debug)]
+struct CapBackend {
+    name: &'static str,
+    caps: BackendCapabilities,
+}
+
+impl CharacterizationBackend for CapBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        self.caps.clone()
+    }
+}
+
+fn caps_of(techs: &[MemoryTechnology], dies: &[u8]) -> BackendCapabilities {
+    BackendCapabilities::new(
+        techs.to_vec(),
+        Kelvin::new(60.0),
+        Kelvin::new(400.0),
+        dies.to_vec(),
+    )
+}
+
 #[test]
-fn overlapping_registrations_are_an_ambiguity_error() {
-    let mut registry = BackendRegistry::with_defaults();
-    registry.register(std::sync::Arc::new(CryoMemBackend));
+fn priority_beats_a_specificity_tie() {
+    // Identical capability sets: specificity cannot separate them, so
+    // the explicit registration priority decides.
+    let mut registry = BackendRegistry::new();
+    registry.register(std::sync::Arc::new(CapBackend {
+        name: "low",
+        caps: caps_of(&[MemoryTechnology::Sram], &[1]),
+    }));
+    registry.register_with_priority(
+        std::sync::Arc::new(CapBackend {
+            name: "high",
+            caps: caps_of(&[MemoryTechnology::Sram], &[1]),
+        }),
+        5,
+    );
+    let resolved = registry.resolve(&MemoryConfig::sram_77k()).unwrap();
+    assert_eq!(resolved.name(), "high");
+}
+
+#[test]
+fn strict_containment_yields_to_the_specific_backend() {
+    // The generalist covers SRAM and 3T-eDRAM at every die count; the
+    // specialist covers single-die SRAM only. On the overlap the
+    // generalist yields — even though it outranks the specialist on
+    // priority — because specificity applies before priority.
+    let mut registry = BackendRegistry::new();
+    registry.register_with_priority(
+        std::sync::Arc::new(CapBackend {
+            name: "generalist",
+            caps: caps_of(
+                &[MemoryTechnology::Sram, MemoryTechnology::Edram3T],
+                &[1, 2, 4, 8],
+            ),
+        }),
+        100,
+    );
+    registry.register(std::sync::Arc::new(CapBackend {
+        name: "specialist",
+        caps: caps_of(&[MemoryTechnology::Sram], &[1]),
+    }));
+    let sram = MemoryConfig::sram_77k();
+    assert_eq!(registry.resolve(&sram).unwrap().name(), "specialist");
+    // Points only the generalist covers still route to it.
+    assert_eq!(
+        registry.resolve(&MemoryConfig::edram_77k()).unwrap().name(),
+        "generalist"
+    );
+}
+
+#[test]
+fn ambiguous_overlap_is_a_typed_error_naming_every_claimant() {
+    // Two non-nested overlapping backends at equal priority, plus a
+    // strictly-containing generalist: the generalist yields, the other
+    // two tie, and the error names all three claimants in
+    // registration order.
+    let mut registry = BackendRegistry::new();
+    registry.register(std::sync::Arc::new(CapBackend {
+        name: "sram-and-3t",
+        caps: caps_of(&[MemoryTechnology::Sram, MemoryTechnology::Edram3T], &[1]),
+    }));
+    registry.register(std::sync::Arc::new(CapBackend {
+        name: "sram-and-1t1c",
+        caps: caps_of(&[MemoryTechnology::Sram, MemoryTechnology::Edram1T1C], &[1]),
+    }));
+    registry.register_with_priority(
+        std::sync::Arc::new(CapBackend {
+            name: "everything",
+            caps: caps_of(
+                &[
+                    MemoryTechnology::Sram,
+                    MemoryTechnology::Edram3T,
+                    MemoryTechnology::Edram1T1C,
+                ],
+                &[1, 2],
+            ),
+        }),
+        100,
+    );
     let err = registry.resolve(&MemoryConfig::sram_77k()).unwrap_err();
     match err {
         Error::BackendConflict { config, backends } => {
             assert_eq!(config, "77K SRAM");
-            assert_eq!(backends, ["cryomem", "cryomem"]);
+            assert_eq!(backends, ["sram-and-3t", "sram-and-1t1c", "everything"]);
         }
         other => panic!("expected BackendConflict, got {other}"),
     }
+    // The non-overlapping regions still resolve: the eDRAMs are each
+    // claimed by one specialist plus the yielded generalist.
+    assert_eq!(
+        registry.resolve(&MemoryConfig::edram_77k()).unwrap().name(),
+        "sram-and-3t"
+    );
+}
+
+#[test]
+fn overlapping_registrations_are_an_ambiguity_error() {
+    // A duplicate CryoMEM registered at CryoMEM's own priority
+    // reintroduces a genuine tie on the single-die SRAM overlap; the
+    // error names every claimant, including the out-prioritized
+    // Destiny.
+    let mut registry = BackendRegistry::with_defaults();
+    registry.register_with_priority(
+        std::sync::Arc::new(CryoMemBackend),
+        BackendRegistry::CRYOMEM_PRIORITY,
+    );
+    let err = registry.resolve(&MemoryConfig::sram_77k()).unwrap_err();
+    match err {
+        Error::BackendConflict { config, backends } => {
+            assert_eq!(config, "77K SRAM");
+            assert_eq!(backends, ["cryomem", "destiny", "cryomem"]);
+        }
+        other => panic!("expected BackendConflict, got {other}"),
+    }
+    // A duplicate at *default* priority is not ambiguous: the
+    // registry's CryoMEM outranks it.
+    let mut registry = BackendRegistry::with_defaults();
+    registry.register(std::sync::Arc::new(CryoMemBackend));
+    assert_eq!(
+        registry.resolve(&MemoryConfig::sram_77k()).unwrap().name(),
+        "cryomem"
+    );
+}
+
+/// The migration guarantee: every design point the old exclusive
+/// partition resolved keeps its backend under the overlap policy.
+/// The old rule was volatility/stack-height: Destiny took every
+/// non-volatile point and stacked SRAM, CryoMEM took single-die
+/// volatile arrays.
+#[test]
+fn registry_migration_preserves_every_resolved_point() {
+    let registry = BackendRegistry::with_defaults();
+    let mut checked = 0;
+    for config in MemoryConfig::study_set() {
+        for &t in coldtall::cryo::study_temperatures() {
+            // Stacked volatile arrays are modeled at the 350 K
+            // reference only — the old registry never resolved them
+            // elsewhere, so there is nothing to migrate.
+            if !config.technology().is_nonvolatile() && config.dies() > 1 && t != Kelvin::REFERENCE
+            {
+                continue;
+            }
+            let point = config.clone().at_temperature(t);
+            let expected = if point.technology().is_nonvolatile() || point.dies() > 1 {
+                "destiny"
+            } else {
+                "cryomem"
+            };
+            let resolved = registry
+                .resolve(&point)
+                .unwrap_or_else(|e| panic!("{}: {e}", point.label()));
+            assert_eq!(resolved.name(), expected, "{}", point.label());
+            checked += 1;
+        }
+    }
+    // 31 configs x 8 study temperatures, minus the 3 stacked-SRAM
+    // configs at the 7 non-reference temperatures.
+    assert_eq!(checked, 31 * 8 - 3 * 7);
 }
 
 /// A test-time backend: claims single-die SRAM only and stamps a

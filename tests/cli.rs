@@ -78,6 +78,35 @@ fn backends_command_lists_capabilities() {
     assert!(out.contains("destiny"), "output: {out}");
     assert!(out.contains("60-400 K"), "temperature span shown: {out}");
     assert!(out.contains("1/2/4/8"), "Destiny die counts shown: {out}");
+    assert!(out.contains("priority"), "resolution priority shown: {out}");
+    // CryoMEM outranks Destiny on their single-die SRAM overlap.
+    let priority = |name: &str| -> i32 {
+        out.lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap_or_else(|| panic!("no priority cell for {name}: {out}"))
+            .parse()
+            .unwrap()
+    };
+    assert!(priority("cryomem") > priority("destiny"), "output: {out}");
+}
+
+/// ISSUE 9: single-die SRAM is claimed by both default backends; the
+/// priority policy resolves it to CryoMEM. A `--backend` pin never
+/// overrides that policy — pinning the losing claimant exits 1, while
+/// pinning the winner succeeds.
+#[test]
+fn backend_pin_on_the_overlap_point_asserts_the_policy_winner() {
+    let (ok, out, _) = run(&["characterize", "--tech", "sram", "--backend", "cryomem"]);
+    assert!(ok);
+    assert!(out.contains("backend           : cryomem"), "output: {out}");
+
+    let (ok, _, err) = run(&["characterize", "--tech", "sram", "--backend", "destiny"]);
+    assert!(!ok);
+    assert!(
+        err.contains("does not serve") && err.contains("cryomem"),
+        "stderr: {err}"
+    );
 }
 
 #[test]
@@ -180,6 +209,36 @@ fn search_constraint_caps_parse_and_screen() {
         !out.contains("3T-eDRAM"),
         "a 5 mm^2 area cap excludes the 7.54 mm^2 cryogenic eDRAM: {out}"
     );
+}
+
+/// The cryo-NVM quick-start from the README: search STT-RAM across
+/// the 77-400 K ladder (ISSUE 9). The range form expands over every
+/// study temperature inside the bounds.
+#[test]
+fn search_temps_range_walks_the_cryo_nvm_region() {
+    let (ok, out, _) = run(&["search", "--tech", "stt-ram", "--temps", "77:400"]);
+    assert!(ok);
+    // 2 tentpoles x 4 die counts x 8 ladder temperatures x 23 benchmarks.
+    assert!(
+        out.contains("over 1472 rows"),
+        "the full cryo-STT region searches: {out}"
+    );
+    assert!(out.contains("STT-RAM"), "frontier holds STT-RAM points: {out}");
+
+    // A sub-range narrows the ladder: 77-130 K keeps 77 and 127 K only.
+    let (ok, out, _) = run(&["search", "--tech", "stt-ram", "--temps", "77:130"]);
+    assert!(ok);
+    assert!(out.contains("over 368 rows"), "two ladder temperatures: {out}");
+
+    // An inverted or out-of-span range is a typed error.
+    let (ok, _, err) = run(&["search", "--temps", "300:100"]);
+    assert!(!ok);
+    assert!(err.contains("60 <= lo <= hi <= 400"), "stderr: {err}");
+
+    // A range holding no ladder temperature names the ladder span.
+    let (ok, _, err) = run(&["search", "--temps", "390:400"]);
+    assert!(!ok);
+    assert!(err.contains("no study temperature"), "stderr: {err}");
 }
 
 #[test]

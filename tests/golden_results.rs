@@ -26,7 +26,7 @@ type Generator = fn() -> TextTable;
 
 /// Every artifact under `results/`, paired with its in-process
 /// regenerator (the same `run()` the corresponding binary prints).
-const ARTIFACTS: [(&str, Generator); 18] = [
+const ARTIFACTS: [(&str, Generator); 19] = [
     ("ablation_cooling", bench::ablation_cooling::run),
     ("ablation_ecc", bench::ablation_ecc::run),
     ("ablation_node", bench::ablation_node::run),
@@ -34,6 +34,7 @@ const ARTIFACTS: [(&str, Generator); 18] = [
     ("ablation_tags", bench::ablation_tags::run),
     ("ablation_voltage", bench::ablation_voltage::run),
     ("accel_study", bench::accel_study::run),
+    ("cryo_nvm_study", bench::cryo_nvm_study::run),
     ("dynamic_temperature", bench::dynamic_temperature::run),
     ("fig1", bench::fig1::run),
     ("fig3", bench::fig3::run),

@@ -171,6 +171,49 @@ fn search_matches_exhaustive_at_one_thread() {
     assert_search_matches_exhaustive(1);
 }
 
+/// The cryogenic-NVM region (Δ(T) STT-MRAM across both tentpoles,
+/// 1-8 dies, 77-387 K): the adaptive frontier is bit-identical to the
+/// exhaustive arena extraction at both pool widths, and the search
+/// still avoids provable work — here purely by dominance, since no
+/// STT-RAM plane is refresh-dead.
+#[test]
+fn cryo_stt_region_search_matches_exhaustive() {
+    for threads in [1, 4] {
+        let _pinned = PinnedPool::threads(threads);
+        let configs = MemoryConfig::cryo_stt_study_set();
+
+        let exhaustive = Explorer::with_defaults();
+        let plan = exhaustive
+            .plan_sweep(&configs)
+            .expect("every cryo-STT point resolves to a backend");
+        let mut arena = EvalArena::new();
+        exhaustive.execute_into(&plan, &mut arena);
+
+        let outcome = Explorer::with_defaults()
+            .search("cryo-STT region", &configs, &Constraints::none())
+            .expect("the cryo-STT region searches");
+        assert_eq!(
+            outcome.frontier,
+            pareto_front_arena(&arena),
+            "cryo-STT adaptive frontier diverged from the exhaustive \
+             extraction at {threads} threads"
+        );
+        assert_eq!(
+            outcome.stats.rows_total,
+            configs.len() as u64 * spec2017().len() as u64
+        );
+        assert!(
+            outcome.stats.points_skipped > 0,
+            "dominance pruning must skip work on the cryo-STT region"
+        );
+        assert_eq!(
+            outcome.stats.points_evaluated + outcome.stats.points_skipped,
+            outcome.stats.rows_total,
+            "work accounting must be exact on the cryo-STT region"
+        );
+    }
+}
+
 #[test]
 fn search_matches_exhaustive_at_four_threads() {
     assert_search_matches_exhaustive(4);

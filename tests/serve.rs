@@ -120,6 +120,8 @@ fn concurrent_tcp_clients_get_bit_identical_responses() {
         r#"{"cmd":"characterize","tech":"pcm","dies":4,"id":"c"}"#,
         r#"{"cmd":"characterize","tech":"pcm","tentpole":"pess","dies":8,"id":"d"}"#,
         r#"{"cmd":"characterize","tech":"stt","dies":2,"id":"e"}"#,
+        // The cryo-NVM region (ISSUE 9): Δ(T) STT-MRAM at 77 K.
+        r#"{"cmd":"characterize","tech":"stt-ram","temp":77,"dies":4,"id":"e2"}"#,
         r#"{"cmd":"characterize","tech":"rram","dies":8,"id":"f"}"#,
         r#"{"cmd":"evaluate","tech":"edram","temp":77,"bench":"mcf","id":"g"}"#,
         r#"{"cmd":"evaluate","tech":"pcm","dies":8,"bench":"namd","id":"h"}"#,
@@ -189,6 +191,13 @@ fn stdin_requests_drain_and_persist_the_registry() {
     let parsed = json::parse(&response).expect("response is JSON");
     assert_eq!(parsed.get("ok"), Some(&Value::Bool(true)), "{response}");
 
+    // A cryogenic STT-MRAM point characterizes end-to-end through the
+    // serve path and lands in the registry like any other point.
+    let response =
+        daemon.request(r#"{"cmd":"characterize","tech":"stt-ram","temp":77,"dies":4,"id":2}"#);
+    let parsed = json::parse(&response).expect("cryo-STT response is JSON");
+    assert_eq!(parsed.get("ok"), Some(&Value::Bool(true)), "{response}");
+
     let status = daemon.request(r#"{"cmd":"status"}"#);
     let parsed = json::parse(&status).expect("status is JSON");
     let served = parsed
@@ -205,11 +214,22 @@ fn stdin_requests_drain_and_persist_the_registry() {
     let contents = std::fs::read_to_string(&registry).expect("registry written");
     assert!(contents.ends_with('\n'), "no truncated final record");
     let lines: Vec<&str> = contents.lines().collect();
-    assert!(!lines.is_empty(), "the characterization was recorded");
+    assert!(lines.len() >= 2, "both characterizations were recorded");
     for line in &lines {
         let record = json::parse(line).expect("registry line is JSON");
-        assert_eq!(record.get("schema").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(record.get("schema").and_then(Value::as_f64), Some(2.0));
+        // Schema v2: every record carries the resolved backend.
+        assert_eq!(
+            record.get("backend"),
+            Some(&Value::String("destiny".to_string())),
+            "both points route to Destiny: {line}"
+        );
     }
+    // The cryo-STT point's key is in there, at its 77 K bit pattern.
+    assert!(
+        contents.contains("STT-RAM|optimistic|d4|t4053400000000000"),
+        "cryo-STT key recorded: {contents}"
+    );
     let _ = std::fs::remove_file(&registry);
 }
 
@@ -281,7 +301,7 @@ fn corrupt_registry_lines_are_counted_and_skipped() {
     let torn = &first[..first.len() / 2];
     let vandalized = format!(
         "{good}not json\n{}\n{torn}",
-        first.replacen("\"schema\":1", "\"schema\":99", 1)
+        first.replacen("\"schema\":2", "\"schema\":99", 1)
     );
     std::fs::write(&registry, vandalized).expect("vandalized write");
 
